@@ -1,0 +1,206 @@
+//! DNS server baselines (paper §4.2, Figure 10).
+//!
+//! Figure 10 plots six servers against zone size: BIND 9.9.0, NSD 3.2.10,
+//! NSD rebuilt as a C libOS on MiniOS (at `-O` and `-O3`), and Mirage with
+//! and without response memoization. This module models the *non-Mirage*
+//! servers as per-query cost formulas whose terms are the architectural
+//! operations each server performs; the Mirage costs are derived from the
+//! same term vocabulary so the comparison is apples-to-apples.
+//!
+//! Cost terms per query (see each constructor for the breakdown):
+//! * socket path: `recvfrom` + `sendto` syscalls plus two user/kernel
+//!   copies (conventional OS only);
+//! * parse: header + name decoding;
+//! * lookup: hash or tree access, with a mild `log n` zone-size term;
+//! * allocation churn: per-query `malloc`/free pairs (BIND is notorious);
+//! * response assembly: name compression and record encoding.
+//!
+//! The paper's footnote 6 reports an unexplained but "consistently
+//! reproducible" BIND slowdown at *small* zone sizes; we reproduce that
+//! published anomaly with an explicit small-zone term, flagged as such.
+
+use mirage_hypervisor::{CostTable, Dur};
+
+/// The Figure 10 server variants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DnsVariant {
+    /// BIND 9.9.0 on Linux.
+    Bind9,
+    /// NSD 3.2.10 on Linux.
+    Nsd,
+    /// NSD linked against MiniOS + lwIP at `-O`.
+    NsdMiniOsO1,
+    /// Same at `-O3`.
+    NsdMiniOsO3,
+    /// Mirage DNS without memoization.
+    MirageNoMemo,
+    /// Mirage DNS with memoization.
+    MirageMemo,
+}
+
+impl DnsVariant {
+    /// All variants in figure order.
+    pub fn all() -> [DnsVariant; 6] {
+        [
+            DnsVariant::Bind9,
+            DnsVariant::Nsd,
+            DnsVariant::NsdMiniOsO1,
+            DnsVariant::NsdMiniOsO3,
+            DnsVariant::MirageNoMemo,
+            DnsVariant::MirageMemo,
+        ]
+    }
+
+    /// Series label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            DnsVariant::Bind9 => "Bind9, Linux",
+            DnsVariant::Nsd => "NSD, Linux",
+            DnsVariant::NsdMiniOsO1 => "NSD, MiniOS -O",
+            DnsVariant::NsdMiniOsO3 => "NSD, MiniOS -O3",
+            DnsVariant::MirageNoMemo => "Mirage (no memo)",
+            DnsVariant::MirageMemo => "Mirage (memo)",
+        }
+    }
+
+    /// Per-query service time for a zone of `entries` names.
+    pub fn per_query(&self, costs: &CostTable, entries: usize) -> Dur {
+        let log_n = (entries.max(2) as f64).log2();
+        let lookup_scale = Dur::nanos((90.0 * log_n) as u64);
+        // recvfrom + sendto, each a trap plus a ~100-byte copy each way.
+        let socket_path = costs.syscall * 2 + costs.copy(100) * 2 + costs.irq_dispatch;
+        match self {
+            DnsVariant::Bind9 => {
+                // Feature-rich parse, ~12 allocations per query, hash
+                // lookups through several views, verbose assembly.
+                let parse = Dur::micros(5);
+                let alloc_churn = costs.malloc * 12;
+                let assembly = Dur::micros(7) + costs.copy(300);
+                // Footnote-6 anomaly: reproducibly slow on small zones.
+                let small_zone_anomaly = if entries < 1000 {
+                    Dur::micros(4)
+                } else {
+                    Dur::ZERO
+                };
+                socket_path + parse + alloc_churn + lookup_scale + assembly + small_zone_anomaly
+            }
+            DnsVariant::Nsd => {
+                // Precompiled answers: parse, one hash probe, one memcpy.
+                let parse = Dur::micros(2);
+                let lookup = Dur::nanos(800) + lookup_scale / 2;
+                let copy_out = costs.copy(300) + Dur::micros(1);
+                socket_path + parse + lookup + copy_out + Dur::micros(6)
+            }
+            DnsVariant::NsdMiniOsO1 | DnsVariant::NsdMiniOsO3 => {
+                // The paper found this build "significantly lower than
+                // expected … due to unexpected interactions between MiniOS
+                // select(2) scheduling and the netfront driver" plus
+                // generic embedded libc code ("optimised libc assembly is
+                // replaced by common calls").
+                let nsd = DnsVariant::Nsd.per_query(costs, entries);
+                let select_netfront_stall = Dur::micros(26);
+                let libc_penalty = if *self == DnsVariant::NsdMiniOsO1 {
+                    Dur::micros(9)
+                } else {
+                    Dur::micros(5) // -O3 claws a little back
+                };
+                nsd + select_netfront_stall + libc_penalty
+            }
+            DnsVariant::MirageNoMemo => {
+                // No socket path at all (the stack is the application),
+                // but every query re-runs parse + tree lookup + response
+                // encoding with fresh allocations on the OCaml heap.
+                let parse = Dur::micros(3);
+                let lookup = Dur::micros(2) + lookup_scale;
+                let encode = Dur::micros(12) + costs.copy(300); // compression dominates
+                let gc_pressure = costs.gc_alloc * 40;
+                parse + lookup + encode + gc_pressure + Dur::micros(5)
+            }
+            DnsVariant::MirageMemo => {
+                // The 20-line patch: parse + memo probe + patched id copy.
+                let parse = Dur::micros(3);
+                let memo_probe = Dur::micros(2);
+                let copy_out = costs.copy(300);
+                parse + memo_probe + copy_out + Dur::nanos(7_500)
+            }
+        }
+    }
+
+    /// Steady-state throughput in queries/second for one vCPU.
+    pub fn throughput_qps(&self, costs: &CostTable, entries: usize) -> f64 {
+        1e9 / self.per_query(costs, entries).as_nanos() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn costs() -> CostTable {
+        CostTable::defaults()
+    }
+
+    #[test]
+    fn figure10_ordering_holds_at_large_zones() {
+        let c = costs();
+        let n = 10_000;
+        let qps = |v: DnsVariant| v.throughput_qps(&c, n);
+        assert!(
+            qps(DnsVariant::MirageMemo) > qps(DnsVariant::Nsd),
+            "memoized Mirage beats NSD"
+        );
+        assert!(qps(DnsVariant::Nsd) > qps(DnsVariant::Bind9), "NSD beats BIND");
+        assert!(
+            qps(DnsVariant::Bind9) > qps(DnsVariant::MirageNoMemo),
+            "unmemoized Mirage started out slower than BIND"
+        );
+        assert!(
+            qps(DnsVariant::MirageNoMemo) > qps(DnsVariant::NsdMiniOsO3),
+            "the C libOS port trails everything"
+        );
+        assert!(qps(DnsVariant::NsdMiniOsO3) > qps(DnsVariant::NsdMiniOsO1));
+    }
+
+    #[test]
+    fn magnitudes_match_the_published_figure() {
+        // Paper §4.2: BIND ≈55 k, NSD ≈70 k, Mirage memo 75–80 k,
+        // Mirage no-memo ≈40 k queries/s.
+        let c = costs();
+        let n = 5_000;
+        let within = |v: DnsVariant, lo: f64, hi: f64| {
+            let q = v.throughput_qps(&c, n) / 1e3;
+            assert!((lo..hi).contains(&q), "{}: {q:.1} kq/s", v.label());
+        };
+        within(DnsVariant::Bind9, 40.0, 70.0);
+        within(DnsVariant::Nsd, 55.0, 85.0);
+        within(DnsVariant::MirageMemo, 70.0, 95.0);
+        within(DnsVariant::MirageNoMemo, 30.0, 50.0);
+        within(DnsVariant::NsdMiniOsO3, 10.0, 30.0);
+    }
+
+    #[test]
+    fn bind_small_zone_anomaly_reproduced() {
+        let c = costs();
+        let small = DnsVariant::Bind9.throughput_qps(&c, 100);
+        let large = DnsVariant::Bind9.throughput_qps(&c, 10_000);
+        assert!(
+            small < large,
+            "footnote 6: BIND is slower on small zones ({small:.0} vs {large:.0})"
+        );
+        // NSD has no such anomaly: mild log-n decline only.
+        let nsd_small = DnsVariant::Nsd.throughput_qps(&c, 100);
+        let nsd_large = DnsVariant::Nsd.throughput_qps(&c, 10_000);
+        assert!(nsd_small > nsd_large);
+    }
+
+    #[test]
+    fn memoization_is_the_dominant_mirage_term() {
+        let c = costs();
+        let speedup = DnsVariant::MirageMemo.throughput_qps(&c, 5_000)
+            / DnsVariant::MirageNoMemo.throughput_qps(&c, 5_000);
+        assert!(
+            (1.6..2.4).contains(&speedup),
+            "paper: ~40 k → 75–80 k, a ≈2x jump; got {speedup:.2}"
+        );
+    }
+}

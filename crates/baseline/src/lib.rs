@@ -1,0 +1,33 @@
+//! Conventional-OS baselines for mirage-rs.
+//!
+//! Every comparison figure in the paper has a non-Mirage side: Linux VMs
+//! booting Debian and Apache, BIND and NSD, nginx + web.py, NOX and
+//! Maestro. Those artifacts are closed or impractical to run inside the
+//! simulated substrate, so this crate provides behavioural models built
+//! from a shared term vocabulary — syscalls, user/kernel copies, context
+//! switches, allocation churn, interpreter and JVM overheads — priced by
+//! the same [`CostTable`](mirage_hypervisor::CostTable) the unikernel side
+//! is charged with. Figure shapes therefore come from *which operations
+//! each architecture performs*, not per-figure tuning; the unit tests in
+//! each module pin the published orderings and magnitudes.
+//!
+//! * [`boot`] — staged Linux boot pipelines (Figures 5, 6).
+//! * [`dns`] — BIND 9 / NSD / NSD-on-MiniOS per-query models and the
+//!   Mirage cost curves (Figure 10).
+//! * [`web`] — nginx + FastCGI + web.py and Apache mpm-worker models
+//!   (Figures 12, 13).
+//! * [`openflow`] — NOX destiny-fast and Maestro models (Figure 11).
+//! * [`netperf`] — Linux vs Mirage TCP endpoint profiles and the
+//!   flood-ping latency model (Figure 8, §4.1.3).
+
+pub mod boot;
+pub mod dns;
+pub mod netperf;
+pub mod openflow;
+pub mod web;
+
+pub use boot::{BootProfile, BootStage, ConventionalBootGuest};
+pub use dns::DnsVariant;
+pub use netperf::{EndpointProfile, TcpEndpoint};
+pub use openflow::ControllerVariant;
+pub use web::{DynamicWebVariant, StaticWebConfig};

@@ -1,0 +1,50 @@
+//! Figure 11 — "OpenFlow controller performance": cbench batch/single
+//! throughput for Maestro, NOX destiny-fast and Mirage, with the Mirage
+//! bar measured through the real controller + cbench harness.
+
+use mirage_baseline::openflow::{run_mirage_cbench, ControllerVariant};
+use mirage_bench::report;
+use mirage_hypervisor::CostTable;
+use mirage_openflow::{Cbench, CbenchMode, LearningSwitch};
+
+fn print_figure() {
+    report::banner(
+        "Figure 11",
+        "OpenFlow controller throughput (k requests/s)",
+    );
+    let costs = CostTable::defaults();
+    let mut rows = Vec::new();
+    for variant in ControllerVariant::all() {
+        rows.push(vec![
+            variant.label().to_owned(),
+            report::f(variant.throughput_rps(&costs, CbenchMode::Batch) / 1e3, 1),
+            report::f(variant.throughput_rps(&costs, CbenchMode::Single) / 1e3, 1),
+            report::f(variant.batch_fairness(), 2),
+        ]);
+    }
+    report::table(&["Controller", "batch", "single", "fairness"], &rows);
+    let measured = run_mirage_cbench(&costs, CbenchMode::Single, 10);
+    println!(
+        "Mirage single, measured through the real controller: {:.1} k req/s",
+        measured / 1e3
+    );
+    println!("paper: NOX highest (unfair in batch), Mirage between NOX and Maestro");
+}
+
+fn main() {
+    print_figure();
+    let mut c = mirage_bench::criterion();
+    c.bench_function("fig11/real_cbench_single_16sw_x100macs", |b| {
+        b.iter(|| {
+            let bench = Cbench::paper_config(CbenchMode::Single);
+            criterion::black_box(bench.run(5, LearningSwitch::new))
+        })
+    });
+    c.bench_function("fig11/real_cbench_batch_2sw", |b| {
+        b.iter(|| {
+            let bench = Cbench::new(2, 100, CbenchMode::Batch);
+            criterion::black_box(bench.run(1, LearningSwitch::new))
+        })
+    });
+    c.final_summary();
+}

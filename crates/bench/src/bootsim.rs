@@ -1,0 +1,129 @@
+//! Boot-time experiment harness (paper Figures 5 and 6).
+//!
+//! Builds one domain through the toolstack (synchronous or parallel) and
+//! measures request→network-ready in virtual time. The Mirage target is a
+//! real [`Appliance`]-built guest (start-of-day cost, Figure 2 layout,
+//! seal, ready signal); the Linux targets walk the staged
+//! [`mirage_baseline::BootProfile`] pipelines.
+
+use mirage_baseline::{BootProfile, ConventionalBootGuest};
+use mirage_core::{Appliance, Library};
+use mirage_hypervisor::toolstack::{BuildMode, DomainSpec, Toolstack};
+use mirage_hypervisor::{Dur, Guest, Hypervisor};
+
+/// The Figure 5/6 boot targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BootTarget {
+    /// The Mirage DNS appliance ("the Mirage unikernel transmits the UDP
+    /// packet as soon as the network interface is ready").
+    Mirage,
+    /// Minimal Linux kernel + initrd + ifconfig.
+    MinimalLinux,
+    /// Debian boot scripts + Apache2.
+    DebianApache,
+}
+
+impl BootTarget {
+    /// Series order of Figure 5.
+    pub fn all() -> [BootTarget; 3] {
+        [
+            BootTarget::DebianApache,
+            BootTarget::MinimalLinux,
+            BootTarget::Mirage,
+        ]
+    }
+
+    /// Series label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            BootTarget::Mirage => "Mirage",
+            BootTarget::MinimalLinux => "Linux PV",
+            BootTarget::DebianApache => "Linux PV+Apache",
+        }
+    }
+
+    /// Builds the guest for a domain of `mem_mib`.
+    pub fn guest(&self, mem_mib: u64) -> Box<dyn Guest> {
+        match self {
+            BootTarget::Mirage => {
+                let appliance = Appliance::builder("webserver")
+                    .library(Library::APP_HTTP)
+                    .library(Library::NET_DHCP)
+                    .dynamic_config("ip")
+                    .build()
+                    .expect("valid appliance");
+                // The appliance guest: boot (layout + seal + init), then
+                // signal readiness — the "single UDP packet" of §4.1.1.
+                Box::new(appliance.into_guest(mem_mib, |env, rt| {
+                    env.observe("boot-ready");
+                    rt.spawn(async { 0i64 })
+                }))
+            }
+            BootTarget::MinimalLinux => Box::new(ConventionalBootGuest::new(
+                BootProfile::minimal_linux(),
+            )),
+            BootTarget::DebianApache => Box::new(ConventionalBootGuest::new(
+                BootProfile::debian_apache(),
+            )),
+        }
+    }
+}
+
+/// One boot measurement: request→ready, in virtual time.
+pub fn boot_time(target: BootTarget, mem_mib: u64, mode: BuildMode) -> Dur {
+    let mut hv = Hypervisor::new();
+    let ts = Toolstack::new(mode);
+    let guest = target.guest(mem_mib);
+    let built = ts.build_one(&mut hv, DomainSpec::new(target.label(), mem_mib, guest));
+    hv.run_until(built.constructed + Dur::secs(30));
+    let ready = hv
+        .observation(built.dom, "boot-ready")
+        .expect("target reaches readiness");
+    ready.at.since(built.requested)
+}
+
+/// The Figure 5 memory sweep (MiB).
+pub const FIG5_MEMORY_SWEEP: [u64; 10] = [8, 16, 32, 64, 128, 256, 512, 1024, 2048, 3072];
+
+/// The Figure 6 memory sweep (MiB).
+pub const FIG6_MEMORY_SWEEP: [u64; 6] = [64, 128, 256, 512, 1024, 2048];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure5_orderings_at_both_ends_of_the_sweep() {
+        for mem in [8u64, 3072] {
+            let mirage = boot_time(BootTarget::Mirage, mem, BuildMode::Synchronous);
+            let minimal = boot_time(BootTarget::MinimalLinux, mem, BuildMode::Synchronous);
+            let debian = boot_time(BootTarget::DebianApache, mem, BuildMode::Synchronous);
+            assert!(mirage < minimal, "mem {mem}: {mirage} vs {minimal}");
+            assert!(minimal < debian);
+            // "Mirage matches the minimal Linux kernel, booting in
+            // slightly under half the time of the Debian Linux."
+            assert!(
+                debian.as_nanos() > mirage.as_nanos() * 13 / 10,
+                "mem {mem}: debian {debian} not clearly above mirage {mirage}"
+            );
+        }
+    }
+
+    #[test]
+    fn domain_build_dominates_at_large_memory() {
+        // "the proportion of Mirage boot time due to building the domain
+        // also increases to approximately 60% for memory size 3072 MiB".
+        let small = boot_time(BootTarget::Mirage, 8, BuildMode::Synchronous);
+        let large = boot_time(BootTarget::Mirage, 3072, BuildMode::Synchronous);
+        assert!(large.as_nanos() > small.as_nanos() * 5);
+    }
+
+    #[test]
+    fn figure6_mirage_boots_in_tens_of_milliseconds() {
+        // "Mirage boots in under 50 milliseconds" with the async toolstack
+        // (minus domain construction, which the parallel toolstack hides
+        // for small memory sizes).
+        let t = boot_time(BootTarget::Mirage, 64, BuildMode::Parallel);
+        assert!(t < Dur::millis(50), "got {t}");
+    }
+}

@@ -1,0 +1,54 @@
+//! Table/series printing for the figure harnesses.
+
+/// Prints a figure banner.
+pub fn banner(figure: &str, caption: &str) {
+    println!();
+    println!("==== {figure} — {caption} ====");
+}
+
+/// Prints an aligned table.
+pub fn table(headers: &[&str], rows: &[Vec<String>]) {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let line = |cells: Vec<String>| {
+        let mut out = String::new();
+        for (i, cell) in cells.iter().enumerate() {
+            out.push_str(&format!("{:>width$}  ", cell, width = widths[i]));
+        }
+        println!("{}", out.trim_end());
+    };
+    line(headers.iter().map(|h| h.to_string()).collect());
+    line(widths.iter().map(|w| "-".repeat(*w)).collect());
+    for row in rows {
+        line(row.clone());
+    }
+}
+
+/// Formats a float with thousands separators-ish precision.
+pub fn f(value: f64, decimals: usize) -> String {
+    format!("{value:.decimals$}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formatting_does_not_panic() {
+        banner("Figure X", "smoke");
+        table(
+            &["a", "column-b"],
+            &[
+                vec!["1".into(), "2".into()],
+                vec!["100000".into(), "longer-cell".into()],
+            ],
+        );
+        assert_eq!(f(1.23456, 2), "1.23");
+    }
+}

@@ -1,0 +1,184 @@
+//! Configuration as code (paper §2.1, §2.3.1).
+//!
+//! "Unikernels … treat \[services\] as libraries within a single
+//! application, allowing the application developer to configure them using
+//! either simple library calls for dynamic parameters, or build system
+//! tools for static parameters."
+//!
+//! [`Binding::Static`] values are compiled into the image: they enable
+//! extra dead-code elimination and change the image identity (so two
+//! differently-configured appliances are different binaries — "the
+//! trade-off … is that VMs can no longer be cloned by taking a
+//! copy-on-write snapshot", §2.3.1). [`Binding::Dynamic`] values are
+//! resolved at boot (e.g. DHCP instead of a static IP), keeping the image
+//! cloneable at a small boot-time cost.
+
+use std::collections::BTreeMap;
+
+/// How a configuration value binds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Binding {
+    /// Compiled in at build time.
+    Static,
+    /// Resolved at boot.
+    Dynamic,
+}
+
+/// One configuration entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigEntry {
+    /// Binding mode.
+    pub binding: Binding,
+    /// Value (empty for dynamic keys until boot).
+    pub value: String,
+}
+
+/// The appliance configuration set.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Config {
+    entries: BTreeMap<String, ConfigEntry>,
+}
+
+impl Config {
+    /// An empty configuration.
+    pub fn new() -> Config {
+        Config::default()
+    }
+
+    /// Sets a static (compile-time) key.
+    pub fn set_static(&mut self, key: &str, value: &str) {
+        self.entries.insert(
+            key.to_owned(),
+            ConfigEntry {
+                binding: Binding::Static,
+                value: value.to_owned(),
+            },
+        );
+    }
+
+    /// Declares a dynamic (boot-time) key.
+    pub fn set_dynamic(&mut self, key: &str) {
+        self.entries.insert(
+            key.to_owned(),
+            ConfigEntry {
+                binding: Binding::Dynamic,
+                value: String::new(),
+            },
+        );
+    }
+
+    /// Looks up an entry.
+    pub fn get(&self, key: &str) -> Option<&ConfigEntry> {
+        self.entries.get(key)
+    }
+
+    /// Whether any key is dynamic (the image then stays cloneable).
+    pub fn is_cloneable(&self) -> bool {
+        // An image is clone-safe when nothing instance-specific is baked
+        // in: all instance identity must come from dynamic keys.
+        !self
+            .entries
+            .values()
+            .any(|e| e.binding == Binding::Static)
+            || self.entries.is_empty()
+    }
+
+    /// Bytes the configuration adds to the image (static values are
+    /// compiled in; dynamic keys only add a small resolver stub).
+    pub fn image_bytes(&self) -> u32 {
+        self.entries
+            .values()
+            .map(|e| match e.binding {
+                Binding::Static => 32 + e.value.len() as u32,
+                Binding::Dynamic => 96, // resolver stub (e.g. DHCP client hook)
+            })
+            .sum()
+    }
+
+    /// A stable content hash — static keys change it, dynamic keys do not
+    /// (two instances differing only in dynamic values share an image).
+    pub fn identity_hash(&self) -> u64 {
+        let mut h = 0xcbf29ce484222325u64; // FNV-1a
+        for (k, e) in &self.entries {
+            if e.binding == Binding::Static {
+                for b in k.bytes().chain(e.value.bytes()) {
+                    h ^= b as u64;
+                    h = h.wrapping_mul(0x100000001b3);
+                }
+            } else {
+                for b in k.bytes() {
+                    h ^= b as u64;
+                    h = h.wrapping_mul(0x100000001b3);
+                }
+            }
+        }
+        h
+    }
+
+    /// Iterates entries in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &ConfigEntry)> {
+        self.entries.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the configuration is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn static_keys_break_cloneability() {
+        let mut cfg = Config::new();
+        assert!(cfg.is_cloneable());
+        cfg.set_dynamic("ip");
+        assert!(cfg.is_cloneable(), "dynamic-only stays cloneable");
+        cfg.set_static("zone", "example.org");
+        assert!(!cfg.is_cloneable(), "a baked-in value pins the instance");
+    }
+
+    #[test]
+    fn identity_tracks_static_values_only() {
+        let mut a = Config::new();
+        a.set_static("zone", "example.org");
+        a.set_dynamic("ip");
+        let mut b = Config::new();
+        b.set_static("zone", "example.org");
+        b.set_dynamic("ip");
+        assert_eq!(a.identity_hash(), b.identity_hash());
+
+        let mut c = Config::new();
+        c.set_static("zone", "example.com");
+        c.set_dynamic("ip");
+        assert_ne!(a.identity_hash(), c.identity_hash(), "static value differs");
+    }
+
+    #[test]
+    fn image_bytes_reflect_bindings() {
+        let mut cfg = Config::new();
+        cfg.set_static("motd", "hello");
+        let static_only = cfg.image_bytes();
+        assert_eq!(static_only, 32 + 5);
+        cfg.set_dynamic("ip");
+        assert_eq!(cfg.image_bytes(), static_only + 96);
+    }
+
+    #[test]
+    fn entries_are_retrievable() {
+        let mut cfg = Config::new();
+        cfg.set_static("a", "1");
+        cfg.set_dynamic("b");
+        assert_eq!(cfg.get("a").unwrap().binding, Binding::Static);
+        assert_eq!(cfg.get("b").unwrap().binding, Binding::Dynamic);
+        assert!(cfg.get("c").is_none());
+        assert_eq!(cfg.len(), 2);
+    }
+}

@@ -1,0 +1,119 @@
+//! Endianness markers used by the `cstruct` accessor layer.
+//!
+//! The paper's camlp4 extension tags each struct `as little_endian` (or big
+//! endian for network headers) and generates conversion code; here the tag is
+//! a zero-sized type implementing [`Endian`], chosen per generated module.
+
+/// Byte-order strategy for fixed-width integer fields.
+///
+/// Implementations read and write integers of 1, 2, 4 or 8 bytes — the slice
+/// length selects the width. This keeps the generated accessor code
+/// monomorphic and branch-free after inlining.
+pub trait Endian {
+    /// Reads an unsigned integer of `buf.len()` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buf.len()` is not 1, 2, 4 or 8.
+    fn read(buf: &[u8]) -> u64;
+
+    /// Writes the low `buf.len()` bytes of `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buf.len()` is not 1, 2, 4 or 8.
+    fn write(buf: &mut [u8], value: u64);
+}
+
+/// Little-endian byte order (Xen shared ring structures).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct LittleEndian;
+
+/// Big-endian ("network") byte order (Ethernet/IP/TCP/DNS headers).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct BigEndian;
+
+impl Endian for LittleEndian {
+    #[inline]
+    fn read(buf: &[u8]) -> u64 {
+        match buf.len() {
+            1 => buf[0] as u64,
+            2 => u16::from_le_bytes([buf[0], buf[1]]) as u64,
+            4 => u32::from_le_bytes([buf[0], buf[1], buf[2], buf[3]]) as u64,
+            8 => u64::from_le_bytes(buf.try_into().expect("length checked")),
+            n => panic!("unsupported field width {n}"),
+        }
+    }
+
+    #[inline]
+    fn write(buf: &mut [u8], value: u64) {
+        match buf.len() {
+            1 => buf[0] = value as u8,
+            2 => buf.copy_from_slice(&(value as u16).to_le_bytes()),
+            4 => buf.copy_from_slice(&(value as u32).to_le_bytes()),
+            8 => buf.copy_from_slice(&value.to_le_bytes()),
+            n => panic!("unsupported field width {n}"),
+        }
+    }
+}
+
+impl Endian for BigEndian {
+    #[inline]
+    fn read(buf: &[u8]) -> u64 {
+        match buf.len() {
+            1 => buf[0] as u64,
+            2 => u16::from_be_bytes([buf[0], buf[1]]) as u64,
+            4 => u32::from_be_bytes([buf[0], buf[1], buf[2], buf[3]]) as u64,
+            8 => u64::from_be_bytes(buf.try_into().expect("length checked")),
+            n => panic!("unsupported field width {n}"),
+        }
+    }
+
+    #[inline]
+    fn write(buf: &mut [u8], value: u64) {
+        match buf.len() {
+            1 => buf[0] = value as u8,
+            2 => buf.copy_from_slice(&(value as u16).to_be_bytes()),
+            4 => buf.copy_from_slice(&(value as u32).to_be_bytes()),
+            8 => buf.copy_from_slice(&value.to_be_bytes()),
+            n => panic!("unsupported field width {n}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn little_endian_round_trips() {
+        let mut buf = [0u8; 8];
+        LittleEndian::write(&mut buf, 0x1122_3344_5566_7788);
+        assert_eq!(buf[0], 0x88, "least significant byte first");
+        assert_eq!(LittleEndian::read(&buf), 0x1122_3344_5566_7788);
+    }
+
+    #[test]
+    fn big_endian_round_trips() {
+        let mut buf = [0u8; 4];
+        BigEndian::write(&mut buf, 0xAABB_CCDD);
+        assert_eq!(buf, [0xAA, 0xBB, 0xCC, 0xDD]);
+        assert_eq!(BigEndian::read(&buf), 0xAABB_CCDD);
+    }
+
+    #[test]
+    fn one_byte_is_order_independent() {
+        let mut le = [0u8; 1];
+        let mut be = [0u8; 1];
+        LittleEndian::write(&mut le, 0x7F);
+        BigEndian::write(&mut be, 0x7F);
+        assert_eq!(le, be);
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported field width")]
+    fn odd_width_rejected() {
+        let buf = [0u8; 3];
+        let _ = BigEndian::read(&buf);
+    }
+}

@@ -1,0 +1,602 @@
+//! The driver domain: netback, blkback and the virtual switch.
+//!
+//! In the paper's deployments dom0 hosts the backend halves of every
+//! device: netback multiplexes guest NICs onto the physical network and
+//! blkback services block rings from physical storage (§3.4). The
+//! [`DriverDomain`] guest reproduces that role over the simulated
+//! substrate: it discovers frontends through xenstore, maps their granted
+//! rings, switches Ethernet frames between guests (learning by source MAC),
+//! and services block requests against per-VBD [`SimulatedDisk`]s with the
+//! device's timing profile.
+
+use std::collections::{BinaryHeap, HashMap, HashSet, VecDeque};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use mirage_hypervisor::event::Port;
+use mirage_hypervisor::grant::{GrantRef, SharedPage};
+use mirage_hypervisor::{DomainEnv, DomainId, Dur, Guest, Step, Time, Wake};
+use mirage_ring::BackRing;
+
+use crate::blk::{wire as blkwire, DiskProfile, SimulatedDisk, SECTOR_SIZE};
+use crate::netfront::{gref_only, parse_gref, parse_tx_req, rx_rsp};
+use crate::xenstore::Xenstore;
+
+/// Broadcast MAC.
+pub const MAC_BROADCAST: [u8; 6] = [0xFF; 6];
+
+/// Frames queued for a congested guest before tail drop.
+const OUT_QUEUE_CAP: usize = 512;
+
+/// A host-side endpoint on the virtual switch — the harness's way to
+/// source and sink raw frames without booting a guest (a tap device).
+#[derive(Clone, Default)]
+pub struct Tap {
+    inner: Arc<Mutex<TapInner>>,
+}
+
+#[derive(Default)]
+struct TapInner {
+    mac: [u8; 6],
+    to_switch: VecDeque<Vec<u8>>,
+    from_switch: VecDeque<Vec<u8>>,
+}
+
+impl std::fmt::Debug for Tap {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Tap({:02x?})", self.inner.lock().mac)
+    }
+}
+
+impl Tap {
+    /// A tap with the given MAC.
+    pub fn new(mac: [u8; 6]) -> Tap {
+        Tap {
+            inner: Arc::new(Mutex::new(TapInner {
+                mac,
+                ..TapInner::default()
+            })),
+        }
+    }
+
+    /// Queues a frame for injection into the switch. Call
+    /// [`Hypervisor::wake_external`](mirage_hypervisor::Hypervisor::wake_external)
+    /// on the driver domain afterwards so it notices.
+    pub fn inject(&self, frame: Vec<u8>) {
+        self.inner.lock().to_switch.push_back(frame);
+    }
+
+    /// Takes every frame the switch delivered to this tap.
+    pub fn harvest(&self) -> Vec<Vec<u8>> {
+        self.inner.lock().from_switch.drain(..).collect()
+    }
+
+    /// The tap's MAC address.
+    pub fn mac(&self) -> [u8; 6] {
+        self.inner.lock().mac
+    }
+}
+
+struct NetBackendInst {
+    base: String,
+    frontend: DomainId,
+    port: Port,
+    tx_ring: BackRing,
+    rx_ring: BackRing,
+    mapped: HashMap<u32, SharedPage>,
+    out_queue: VecDeque<Vec<u8>>,
+    out_drops: u64,
+}
+
+struct PendingBlk {
+    done_at: Time,
+    gref: GrantRef,
+    id: u64,
+    is_read: bool,
+    sector: u64,
+    count: u16,
+}
+
+impl PartialEq for PendingBlk {
+    fn eq(&self, other: &Self) -> bool {
+        self.done_at == other.done_at && self.id == other.id
+    }
+}
+impl Eq for PendingBlk {}
+impl PartialOrd for PendingBlk {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for PendingBlk {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Min-heap by completion time.
+        other
+            .done_at
+            .cmp(&self.done_at)
+            .then_with(|| other.id.cmp(&self.id))
+    }
+}
+
+struct BlkBackendInst {
+    base: String,
+    frontend: DomainId,
+    port: Port,
+    ring: BackRing,
+    mapped: HashMap<u32, SharedPage>,
+    disk: SimulatedDisk,
+    busy_until: Time,
+    pending: BinaryHeap<PendingBlk>,
+}
+
+/// Network fabric parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NetProfile {
+    /// Link bandwidth in bits per second (default: gigabit Ethernet, as in
+    /// the paper's Figure 8 testbed).
+    pub bandwidth_bps: u64,
+}
+
+impl Default for NetProfile {
+    fn default() -> Self {
+        NetProfile {
+            bandwidth_bps: 1_000_000_000,
+        }
+    }
+}
+
+impl NetProfile {
+    /// A 10 GbE fabric (for the "expect 10 Gb/s with offload" discussion).
+    pub fn ten_gbe() -> NetProfile {
+        NetProfile {
+            bandwidth_bps: 10_000_000_000,
+        }
+    }
+
+    fn wire_time(&self, bytes: usize) -> Dur {
+        Dur::nanos((bytes as u64 * 8).saturating_mul(1_000_000_000) / self.bandwidth_bps)
+    }
+}
+
+/// Counters for the whole driver domain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DriverStats {
+    /// Frames switched.
+    pub frames_switched: u64,
+    /// Frames dropped (congested guest / no posted rx buffer).
+    pub frames_dropped: u64,
+    /// Block requests completed.
+    pub blk_completed: u64,
+}
+
+/// The dom0 guest: hosts every backend plus the virtual switch.
+pub struct DriverDomain {
+    xs: Xenstore,
+    registered: bool,
+    net_profile: NetProfile,
+    disk_profile: DiskProfile,
+    nics: Vec<NetBackendInst>,
+    blks: Vec<BlkBackendInst>,
+    seen: HashSet<String>,
+    mac_table: HashMap<[u8; 6], usize>,
+    taps: Vec<Tap>,
+    stats: Arc<Mutex<DriverStats>>,
+}
+
+impl DriverDomain {
+    /// A driver domain over `xs`, with default gigabit network and PCIe-SSD
+    /// disk profiles.
+    pub fn new(xs: Xenstore) -> DriverDomain {
+        DriverDomain::with_profiles(xs, NetProfile::default(), DiskProfile::pcie_ssd())
+    }
+
+    /// Full-control constructor.
+    pub fn with_profiles(
+        xs: Xenstore,
+        net_profile: NetProfile,
+        disk_profile: DiskProfile,
+    ) -> DriverDomain {
+        DriverDomain {
+            xs,
+            registered: false,
+            net_profile,
+            disk_profile,
+            nics: Vec::new(),
+            blks: Vec::new(),
+            seen: HashSet::new(),
+            mac_table: HashMap::new(),
+            taps: Vec::new(),
+            stats: Arc::new(Mutex::new(DriverStats::default())),
+        }
+    }
+
+    /// Attaches a host-side tap endpoint to the switch.
+    pub fn add_tap(&mut self, tap: Tap) {
+        self.taps.push(tap);
+    }
+
+    /// Shared counters handle (readable while the domain runs).
+    pub fn stats_handle(&self) -> Arc<Mutex<DriverStats>> {
+        Arc::clone(&self.stats)
+    }
+
+    fn discover(&mut self, env: &mut DomainEnv<'_>) -> bool {
+        let mut progressed = false;
+        // Network frontends.
+        for key in self.xs.keys_with_prefix("device/net/") {
+            let Some(base) = key.strip_suffix("/state").map(str::to_owned) else {
+                continue;
+            };
+            if self.seen.contains(&base) {
+                continue;
+            }
+            if self.xs.read(env, &key).as_deref() != Some("initialising") {
+                continue;
+            }
+            let read_u32 = |env: &mut DomainEnv<'_>, xs: &Xenstore, k: &str| {
+                xs.read(env, k).and_then(|s| s.parse::<u32>().ok())
+            };
+            let (Some(dom), Some(txg), Some(rxg)) = (
+                read_u32(env, &self.xs.clone(), &format!("{base}/frontend-domid")),
+                read_u32(env, &self.xs.clone(), &format!("{base}/tx-ring")),
+                read_u32(env, &self.xs.clone(), &format!("{base}/rx-ring")),
+            ) else {
+                continue;
+            };
+            let frontend = DomainId(dom);
+            let Ok(tx_page) = env.grant_map(GrantRef(txg), true) else {
+                continue;
+            };
+            let Ok(rx_page) = env.grant_map(GrantRef(rxg), true) else {
+                continue;
+            };
+            let port = env.evtchn_alloc_unbound(frontend);
+            self.xs
+                .write(env, &format!("{base}/event-port"), &port.0.to_string());
+            self.nics.push(NetBackendInst {
+                base: base.clone(),
+                frontend,
+                port,
+                tx_ring: BackRing::attach(tx_page),
+                rx_ring: BackRing::attach(rx_page),
+                mapped: HashMap::new(),
+                out_queue: VecDeque::new(),
+                out_drops: 0,
+            });
+            self.seen.insert(base);
+            progressed = true;
+        }
+        // Block frontends.
+        for key in self.xs.keys_with_prefix("device/blk/") {
+            let Some(base) = key.strip_suffix("/state").map(str::to_owned) else {
+                continue;
+            };
+            if self.seen.contains(&base) {
+                continue;
+            }
+            if self.xs.read(env, &key).as_deref() != Some("initialising") {
+                continue;
+            }
+            let (Some(dom), Some(ring_gref), Some(sectors)) = (
+                self.xs
+                    .read(env, &format!("{base}/frontend-domid"))
+                    .and_then(|s| s.parse::<u32>().ok()),
+                self.xs
+                    .read(env, &format!("{base}/ring"))
+                    .and_then(|s| s.parse::<u32>().ok()),
+                self.xs
+                    .read(env, &format!("{base}/sectors"))
+                    .and_then(|s| s.parse::<u64>().ok()),
+            ) else {
+                continue;
+            };
+            let frontend = DomainId(dom);
+            let Ok(ring_page) = env.grant_map(GrantRef(ring_gref), true) else {
+                continue;
+            };
+            let port = env.evtchn_alloc_unbound(frontend);
+            self.xs
+                .write(env, &format!("{base}/event-port"), &port.0.to_string());
+            self.blks.push(BlkBackendInst {
+                base: base.clone(),
+                frontend,
+                port,
+                ring: BackRing::attach(ring_page),
+                mapped: HashMap::new(),
+                disk: SimulatedDisk::new(self.disk_profile, sectors),
+                busy_until: Time::ZERO,
+                pending: BinaryHeap::new(),
+            });
+            self.seen.insert(base);
+            progressed = true;
+        }
+        progressed
+    }
+
+    fn map_cached(
+        env: &mut DomainEnv<'_>,
+        cache: &mut HashMap<u32, SharedPage>,
+        gref: u32,
+        writable: bool,
+    ) -> Option<SharedPage> {
+        if let Some(p) = cache.get(&gref) {
+            return Some(p.clone());
+        }
+        let page = env.grant_map(GrantRef(gref), writable).ok()?;
+        cache.insert(gref, page.clone());
+        Some(page)
+    }
+
+    /// Route `frame` from `src_idx` (usize::MAX for taps) to its
+    /// destination queue(s).
+    fn route(&mut self, src_idx: usize, frame: Vec<u8>) {
+        if frame.len() < 14 {
+            return;
+        }
+        let dst: [u8; 6] = frame[0..6].try_into().expect("checked length");
+        let src: [u8; 6] = frame[6..12].try_into().expect("checked length");
+        if src_idx != usize::MAX {
+            self.mac_table.insert(src, src_idx);
+        }
+        self.stats.lock().frames_switched += 1;
+
+        // Tap delivery by exact MAC or broadcast.
+        let mut tap_hit = false;
+        for tap in &self.taps {
+            let mut inner = tap.inner.lock();
+            if inner.mac == dst || dst == MAC_BROADCAST {
+                inner.from_switch.push_back(frame.clone());
+                tap_hit = true;
+            }
+        }
+
+        match self.mac_table.get(&dst) {
+            Some(&idx) if dst != MAC_BROADCAST => {
+                Self::enqueue(&mut self.nics[idx], frame, &self.stats);
+            }
+            _ => {
+                if tap_hit && dst != MAC_BROADCAST {
+                    return;
+                }
+                // Flood to every other port.
+                for (idx, nic) in self.nics.iter_mut().enumerate() {
+                    if idx != src_idx {
+                        Self::enqueue(nic, frame.clone(), &self.stats);
+                    }
+                }
+            }
+        }
+    }
+
+    fn enqueue(nic: &mut NetBackendInst, frame: Vec<u8>, stats: &Arc<Mutex<DriverStats>>) {
+        if nic.out_queue.len() >= OUT_QUEUE_CAP {
+            nic.out_drops += 1;
+            stats.lock().frames_dropped += 1;
+            return;
+        }
+        nic.out_queue.push_back(frame);
+    }
+
+    fn service_net(&mut self, env: &mut DomainEnv<'_>) -> bool {
+        let mut progressed = false;
+        // Ingest frames from guests.
+        let mut routed: Vec<(usize, Vec<u8>)> = Vec::new();
+        for (idx, nic) in self.nics.iter_mut().enumerate() {
+            let _ = env.evtchn_consume(nic.port);
+            let mut notify = false;
+            while let Some(req) = nic.tx_ring.take_request() {
+                let Some((gref, len)) = parse_tx_req(&req) else {
+                    continue;
+                };
+                let Some(page) = Self::map_cached(env, &mut nic.mapped, gref, false) else {
+                    continue;
+                };
+                let mut frame = vec![0u8; len as usize];
+                page.read(|b| frame.copy_from_slice(&b[..len as usize]));
+                // Wire serialisation time for this NIC.
+                env.consume(self.net_profile.wire_time(frame.len()));
+                routed.push((idx, frame));
+                notify |= nic.tx_ring.push_response(&gref_only(gref)).unwrap_or(false);
+                progressed = true;
+            }
+            if notify {
+                let _ = env.evtchn_notify(nic.port);
+            }
+        }
+        for (idx, frame) in routed {
+            self.route(idx, frame);
+        }
+        // Ingest frames from taps.
+        let taps: Vec<Tap> = self.taps.clone();
+        for tap in taps {
+            loop {
+                let frame = tap.inner.lock().to_switch.pop_front();
+                let Some(frame) = frame else { break };
+                env.consume(self.net_profile.wire_time(frame.len()));
+                self.route(usize::MAX, frame);
+                progressed = true;
+            }
+        }
+        // Deliver queued frames into posted rx buffers.
+        for nic in &mut self.nics {
+            let mut notify = false;
+            while nic.out_queue.front().is_some() {
+                let Some(req) = nic.rx_ring.take_request() else {
+                    break;
+                };
+                let Some(gref) = parse_gref(&req) else {
+                    continue;
+                };
+                let Some(page) = Self::map_cached(env, &mut nic.mapped, gref, true) else {
+                    continue;
+                };
+                let frame = nic.out_queue.pop_front().expect("peeked");
+                page.write(|b| b[..frame.len()].copy_from_slice(&frame));
+                notify |= nic
+                    .rx_ring
+                    .push_response(&rx_rsp(gref, frame.len() as u16))
+                    .unwrap_or(false);
+                progressed = true;
+            }
+            if notify {
+                let _ = env.evtchn_notify(nic.port);
+            }
+        }
+        progressed
+    }
+
+    fn service_blk(&mut self, env: &mut DomainEnv<'_>) -> bool {
+        let mut progressed = false;
+        for blk in &mut self.blks {
+            let _ = env.evtchn_consume(blk.port);
+            // Accept new requests, scheduling their completion times.
+            while let Some(req) = blk.ring.take_request() {
+                let Some((op, id, sector, count, gref)) = blkwire::parse_req(&req) else {
+                    continue;
+                };
+                let bytes = count as usize * SECTOR_SIZE;
+                let in_range = sector + count as u64 <= blk.disk.sectors();
+                if !in_range {
+                    // Fail immediately.
+                    let notify = blk
+                        .ring
+                        .push_response(&blkwire::rsp(id, false, gref))
+                        .unwrap_or(false);
+                    if notify {
+                        let _ = env.evtchn_notify(blk.port);
+                    }
+                    continue;
+                }
+                let is_read = op == blkwire::OP_READ;
+                if !is_read {
+                    // Writes capture the data now (the page may be reused).
+                    if let Some(page) =
+                        Self::map_cached(env, &mut blk.mapped, gref, false)
+                    {
+                        let mut data = vec![0u8; bytes];
+                        page.read(|b| data.copy_from_slice(&b[..bytes]));
+                        blk.disk.write(sector, &data);
+                    }
+                }
+                // The device pipelines: occupancy is the transfer time
+                // only, while the fixed latency overlaps across queued
+                // requests (NCQ on the paper's PCIe SSD).
+                let start = blk.busy_until.max(env.now());
+                let transfer = blk.disk.profile().transfer_time(bytes);
+                let done_at = start + transfer + blk.disk.profile().latency;
+                blk.busy_until = start + transfer;
+                blk.pending.push(PendingBlk {
+                    done_at,
+                    gref: GrantRef(gref),
+                    id,
+                    is_read,
+                    sector,
+                    count,
+                });
+                progressed = true;
+            }
+            // Complete requests whose service time has elapsed.
+            let now = env.now();
+            let mut notify = false;
+            while blk
+                .pending
+                .peek()
+                .map(|p| p.done_at <= now)
+                .unwrap_or(false)
+            {
+                let p = blk.pending.pop().expect("peeked");
+                if p.is_read {
+                    let data = blk.disk.read(p.sector, p.count);
+                    if let Some(page) =
+                        Self::map_cached(env, &mut blk.mapped, p.gref.0, true)
+                    {
+                        page.write(|b| b[..data.len()].copy_from_slice(&data));
+                    }
+                }
+                notify |= blk
+                    .ring
+                    .push_response(&blkwire::rsp(p.id, true, p.gref.0))
+                    .unwrap_or(false);
+                self.stats.lock().blk_completed += 1;
+                progressed = true;
+            }
+            if notify {
+                let _ = env.evtchn_notify(blk.port);
+            }
+        }
+        progressed
+    }
+
+    fn next_deadline(&self) -> Option<Time> {
+        self.blks
+            .iter()
+            .filter_map(|b| b.pending.peek().map(|p| p.done_at))
+            .min()
+    }
+}
+
+impl Guest for DriverDomain {
+    fn step(&mut self, env: &mut DomainEnv<'_>) -> Step {
+        if !self.registered {
+            self.xs.register_watcher(env.domid());
+            self.xs
+                .write(env, "backend-domid", &env.domid().0.to_string());
+            self.registered = true;
+        }
+        loop {
+            let mut progressed = self.discover(env);
+            progressed |= self.service_net(env);
+            progressed |= self.service_blk(env);
+            // Arm request notifications before blocking; any race means
+            // another pass instead of a sleep.
+            for nic in &mut self.nics {
+                progressed |= nic.tx_ring.enable_request_notifications();
+                if !nic.out_queue.is_empty() {
+                    progressed |= nic.rx_ring.enable_request_notifications();
+                }
+            }
+            for blk in &mut self.blks {
+                progressed |= blk.ring.enable_request_notifications();
+            }
+            if !progressed {
+                break;
+            }
+        }
+        let ports: Vec<Port> = self
+            .nics
+            .iter()
+            .map(|n| n.port)
+            .chain(self.blks.iter().map(|b| b.port))
+            .collect();
+        Step::Yield(Wake {
+            deadline: self.next_deadline(),
+            ports,
+        })
+    }
+}
+
+impl std::fmt::Debug for DriverDomain {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DriverDomain")
+            .field("nics", &self.nics.len())
+            .field("blks", &self.blks.len())
+            .field("taps", &self.taps.len())
+            .finish()
+    }
+}
+
+// Silence dead-code warnings on fields kept for debugging/telemetry.
+impl NetBackendInst {
+    #[allow(dead_code)]
+    fn describe(&self) -> (&str, DomainId, u64) {
+        (&self.base, self.frontend, self.out_drops)
+    }
+}
+
+impl BlkBackendInst {
+    #[allow(dead_code)]
+    fn describe(&self) -> (&str, DomainId) {
+        (&self.base, self.frontend)
+    }
+}

@@ -1,0 +1,430 @@
+//! Netfront — the guest-side Ethernet driver (paper §3.4).
+//!
+//! "Xen devices consist of a frontend driver in the guest VM, and a backend
+//! driver that multiplexes frontend requests." The frontend owns two
+//! descriptor rings (transmit and receive), a pool of granted I/O pages,
+//! and an event channel. Descriptors never carry packet data — only grant
+//! references — so the data path is the zero-copy page-passing scheme of
+//! §3.4.1.
+//!
+//! The [`CopyDiscipline`] knob prices the two architectures the paper
+//! compares: a unikernel writes wire bytes straight into the granted I/O
+//! page ([`CopyDiscipline::ZeroCopy`]); a conventional OS pays a syscall
+//! plus a user↔kernel copy on every packet
+//! ([`CopyDiscipline::UserKernelCopy`]).
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use mirage_hypervisor::event::Port;
+use mirage_hypervisor::grant::{GrantRef, SharedPage};
+use mirage_hypervisor::{DomainEnv, DomainId};
+use mirage_ring::FrontRing;
+use mirage_runtime::channel::{self, Receiver, Sender};
+use mirage_runtime::{DeviceService, Runtime};
+
+use crate::xenstore::Xenstore;
+
+/// Receive buffers posted to the backend.
+pub const RX_BUFFERS: usize = 24;
+/// Transmit pages in the recycled pool.
+pub const TX_BUFFERS: usize = 24;
+/// Frames queued towards the ring before tail-drop.
+pub const TX_BACKLOG_CAP: usize = 256;
+/// Maximum frame size (one page; jumbo frames are not modelled).
+pub const MAX_FRAME: usize = 4096;
+
+/// How packet payloads cross the guest/driver boundary — the architectural
+/// difference the paper's network benchmarks measure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CopyDiscipline {
+    /// Mirage: the stack serialises directly into the granted I/O page;
+    /// no further copies, no syscalls.
+    ZeroCopy,
+    /// Conventional OS: each packet pays a syscall trap plus a
+    /// user↔kernel copy before reaching the granted page.
+    UserKernelCopy,
+}
+
+/// Per-interface counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct NetifStats {
+    /// Frames transmitted.
+    pub tx_frames: u64,
+    /// Bytes transmitted.
+    pub tx_bytes: u64,
+    /// Frames received.
+    pub rx_frames: u64,
+    /// Bytes received.
+    pub rx_bytes: u64,
+    /// Frames dropped at the transmit backlog.
+    pub tx_drops: u64,
+}
+
+/// The stack-facing half of a network interface: send and receive whole
+/// Ethernet frames.
+pub struct NetHandle {
+    /// Interface MAC address.
+    pub mac: [u8; 6],
+    /// Frame transmit queue (stack → driver).
+    pub tx: Sender<Vec<u8>>,
+    /// Frame receive queue (driver → stack).
+    pub rx: Receiver<Vec<u8>>,
+    stats: Arc<Mutex<NetifStats>>,
+}
+
+impl std::fmt::Debug for NetHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "NetHandle({:02x?})", self.mac)
+    }
+}
+
+impl NetHandle {
+    /// Current interface counters.
+    pub fn stats(&self) -> NetifStats {
+        *self.stats.lock()
+    }
+}
+
+mod desc {
+    //! Descriptor encodings (they ride in ring slots, never payload).
+
+    pub fn tx_req(gref: u32, len: u16) -> Vec<u8> {
+        let mut d = Vec::with_capacity(6);
+        d.extend_from_slice(&gref.to_le_bytes());
+        d.extend_from_slice(&len.to_le_bytes());
+        d
+    }
+
+    pub fn parse_tx_req(d: &[u8]) -> Option<(u32, u16)> {
+        if d.len() != 6 {
+            return None;
+        }
+        Some((
+            u32::from_le_bytes(d[0..4].try_into().ok()?),
+            u16::from_le_bytes(d[4..6].try_into().ok()?),
+        ))
+    }
+
+    pub fn gref_only(gref: u32) -> Vec<u8> {
+        gref.to_le_bytes().to_vec()
+    }
+
+    pub fn parse_gref(d: &[u8]) -> Option<u32> {
+        Some(u32::from_le_bytes(d.try_into().ok()?))
+    }
+
+    pub fn rx_rsp(gref: u32, len: u16) -> Vec<u8> {
+        tx_req(gref, len)
+    }
+
+    pub fn parse_rx_rsp(d: &[u8]) -> Option<(u32, u16)> {
+        parse_tx_req(d)
+    }
+}
+
+pub(crate) use desc::*;
+
+enum FrontState {
+    /// Advertise rings + domid in xenstore.
+    Init,
+    /// Waiting for the backend to publish an event-channel port.
+    WaitPort,
+    /// Data plane running.
+    Connected,
+}
+
+/// The netfront device driver; plugs into a
+/// [`UnikernelGuest`](mirage_runtime::UnikernelGuest) as a
+/// [`DeviceService`].
+pub struct Netfront {
+    xs: Xenstore,
+    name: String,
+    mac: [u8; 6],
+    discipline: CopyDiscipline,
+    state: FrontState,
+    registered_watch: bool,
+    tx_ring: Option<FrontRing>,
+    rx_ring: Option<FrontRing>,
+    port: Option<Port>,
+    backend: Option<DomainId>,
+    /// Recycled transmit pages: (gref, page).
+    tx_free: Vec<(GrantRef, SharedPage)>,
+    /// Pages travelling through the backend, keyed by gref.
+    tx_inflight: HashMap<u32, (GrantRef, SharedPage)>,
+    /// Posted receive buffers, keyed by gref.
+    rx_bufs: HashMap<u32, SharedPage>,
+    from_stack: Receiver<Vec<u8>>,
+    to_stack: Sender<Vec<u8>>,
+    tx_backlog: VecDeque<Vec<u8>>,
+    stats: Arc<Mutex<NetifStats>>,
+}
+
+impl Netfront {
+    /// Creates the driver and its stack-facing handle.
+    ///
+    /// `name` keys the xenstore handshake and must be unique per interface.
+    pub fn new(
+        xs: Xenstore,
+        name: impl Into<String>,
+        mac: [u8; 6],
+        discipline: CopyDiscipline,
+    ) -> (Netfront, NetHandle) {
+        let (tx_in, tx_out) = channel::channel();
+        let (rx_in, rx_out) = channel::channel();
+        let stats = Arc::new(Mutex::new(NetifStats::default()));
+        let front = Netfront {
+            xs,
+            name: name.into(),
+            mac,
+            discipline,
+            state: FrontState::Init,
+            registered_watch: false,
+            tx_ring: None,
+            rx_ring: None,
+            port: None,
+            backend: None,
+            tx_free: Vec::new(),
+            tx_inflight: HashMap::new(),
+            rx_bufs: HashMap::new(),
+            from_stack: tx_out,
+            to_stack: rx_in,
+            tx_backlog: VecDeque::new(),
+            stats: Arc::clone(&stats),
+        };
+        let handle = NetHandle {
+            mac,
+            tx: tx_in,
+            rx: rx_out,
+            stats,
+        };
+        (front, handle)
+    }
+
+    fn base(&self) -> String {
+        format!("device/net/{}", self.name)
+    }
+
+    fn step_init(&mut self, env: &mut DomainEnv<'_>) -> bool {
+        if !self.registered_watch {
+            self.xs.register_watcher(env.domid());
+            self.registered_watch = true;
+        }
+        let Some(backend) = self
+            .xs
+            .read(env, "backend-domid")
+            .and_then(|s| s.parse().ok())
+            .map(DomainId)
+        else {
+            return false; // driver domain not up yet; its write will wake us
+        };
+        self.backend = Some(backend);
+        let base = self.base();
+        let tx_page = SharedPage::new();
+        let rx_page = SharedPage::new();
+        let tx_gref = env.grant(backend, tx_page.clone(), true);
+        let rx_gref = env.grant(backend, rx_page.clone(), true);
+        self.tx_ring = Some(FrontRing::attach(tx_page));
+        self.rx_ring = Some(FrontRing::attach(rx_page));
+        let domid = env.domid().0.to_string();
+        self.xs.write(env, &format!("{base}/frontend-domid"), &domid);
+        self.xs
+            .write(env, &format!("{base}/tx-ring"), &tx_gref.0.to_string());
+        self.xs
+            .write(env, &format!("{base}/rx-ring"), &rx_gref.0.to_string());
+        self.xs.write(
+            env,
+            &format!("{base}/mac"),
+            &self.mac.map(|b| format!("{b:02x}")).join(":"),
+        );
+        self.xs.write(env, &format!("{base}/state"), "initialising");
+        self.state = FrontState::WaitPort;
+        true
+    }
+
+    fn step_wait_port(&mut self, env: &mut DomainEnv<'_>) -> bool {
+        let base = self.base();
+        let Some(port) = self
+            .xs
+            .read(env, &format!("{base}/event-port"))
+            .and_then(|s| s.parse().ok())
+            .map(Port)
+        else {
+            return false;
+        };
+        let backend = self.backend.expect("set in Init");
+        let local = env.evtchn_bind(backend, port).expect("backend allocated");
+        self.port = Some(local);
+
+        // Post receive buffers.
+        let rx_ring = self.rx_ring.as_mut().expect("attached in Init");
+        for _ in 0..RX_BUFFERS {
+            let page = SharedPage::new();
+            let gref = env.grant(backend, page.clone(), true);
+            self.rx_bufs.insert(gref.0, page);
+            let _ = rx_ring.push_request(&gref_only(gref.0));
+        }
+        // Pre-grant the transmit pool (read-only: the backend only reads).
+        for _ in 0..TX_BUFFERS {
+            let page = SharedPage::new();
+            let gref = env.grant(backend, page.clone(), false);
+            self.tx_free.push((gref, page));
+        }
+        self.xs.write(env, &format!("{base}/state"), "connected");
+        env.evtchn_notify(local).expect("bound");
+        env.observe(&format!("net-connected:{}", self.name));
+        self.state = FrontState::Connected;
+        true
+    }
+
+    fn charge_tx(discipline: CopyDiscipline, env: &mut DomainEnv<'_>, len: usize) {
+        match discipline {
+            CopyDiscipline::ZeroCopy => {
+                // The single serialise-into-I/O-page write.
+                let c = env.costs().copy(len);
+                env.consume(c);
+            }
+            CopyDiscipline::UserKernelCopy => {
+                let c = env.costs().syscall + env.costs().copy(len) + env.costs().copy(len);
+                env.consume(c);
+            }
+        }
+    }
+
+    fn charge_rx(discipline: CopyDiscipline, env: &mut DomainEnv<'_>, len: usize) {
+        match discipline {
+            CopyDiscipline::ZeroCopy => {
+                // Page is mapped and sliced; no copy ("received pages are
+                // passed directly to the application", §3.4.1).
+            }
+            CopyDiscipline::UserKernelCopy => {
+                let c = env.costs().syscall + env.costs().copy(len);
+                env.consume(c);
+            }
+        }
+    }
+
+    fn step_connected(&mut self, env: &mut DomainEnv<'_>, _rt: &Runtime) -> bool {
+        let mut progressed = false;
+        let port = self.port.expect("connected");
+        let _ = env.evtchn_consume(port);
+
+        // Reclaim completed transmit pages.
+        if let Some(tx_ring) = self.tx_ring.as_mut() {
+            while let Some(rsp) = tx_ring.take_response() {
+                if let Some(gref) = parse_gref(&rsp) {
+                    if let Some(entry) = self.tx_inflight.remove(&gref) {
+                        self.tx_free.push(entry);
+                        progressed = true;
+                    }
+                }
+            }
+        }
+
+        // Deliver received frames and repost buffers.
+        let mut notify_rx = false;
+        if let Some(rx_ring) = self.rx_ring.as_mut() {
+            while let Some(rsp) = rx_ring.take_response() {
+                let Some((gref, len)) = parse_rx_rsp(&rsp) else {
+                    continue;
+                };
+                if let Some(page) = self.rx_bufs.get(&gref) {
+                    let mut frame = vec![0u8; len as usize];
+                    page.read(|b| frame.copy_from_slice(&b[..len as usize]));
+                    Self::charge_rx(self.discipline, env, len as usize);
+                    {
+                        let mut st = self.stats.lock();
+                        st.rx_frames += 1;
+                        st.rx_bytes += len as u64;
+                    }
+                    let _ = self.to_stack.send(frame);
+                    // Repost the same buffer.
+                    if let Ok(n) = rx_ring.push_request(&gref_only(gref)) {
+                        notify_rx |= n;
+                    }
+                    progressed = true;
+                }
+            }
+        }
+
+        // Transmit queued frames.
+        while let Some(frame) = self.from_stack.try_recv() {
+            self.tx_backlog.push_back(frame);
+            if self.tx_backlog.len() > TX_BACKLOG_CAP {
+                self.tx_backlog.pop_front();
+                self.stats.lock().tx_drops += 1;
+            }
+        }
+        let mut notify_tx = false;
+        while let Some(frame) = self.tx_backlog.front() {
+            if frame.len() > MAX_FRAME {
+                self.tx_backlog.pop_front();
+                self.stats.lock().tx_drops += 1;
+                continue;
+            }
+            let Some((gref, page)) = self.tx_free.pop() else {
+                break;
+            };
+            let tx_ring = self.tx_ring.as_mut().expect("connected");
+            if tx_ring.free_slots() == 0 {
+                self.tx_free.push((gref, page));
+                break;
+            }
+            let frame = self.tx_backlog.pop_front().expect("peeked");
+            page.write(|b| b[..frame.len()].copy_from_slice(&frame));
+            Self::charge_tx(self.discipline, env, frame.len());
+            match tx_ring.push_request(&tx_req(gref.0, frame.len() as u16)) {
+                Ok(n) => {
+                    notify_tx |= n;
+                    {
+                        let mut st = self.stats.lock();
+                        st.tx_frames += 1;
+                        st.tx_bytes += frame.len() as u64;
+                    }
+                    self.tx_inflight.insert(gref.0, (gref, page));
+                    progressed = true;
+                }
+                Err(_) => {
+                    self.tx_free.push((gref, page));
+                    break;
+                }
+            }
+        }
+        if notify_tx || notify_rx {
+            let _ = env.evtchn_notify(port);
+        }
+        // Arm notifications before blocking; if responses raced in, go
+        // around again instead of sleeping (the §3.5.1 footnote protocol).
+        if let Some(tx_ring) = self.tx_ring.as_mut() {
+            progressed |= tx_ring.enable_response_notifications();
+        }
+        if let Some(rx_ring) = self.rx_ring.as_mut() {
+            progressed |= rx_ring.enable_response_notifications();
+        }
+        progressed
+    }
+}
+
+impl DeviceService for Netfront {
+    fn service(&mut self, env: &mut DomainEnv<'_>, rt: &Runtime) -> bool {
+        match self.state {
+            FrontState::Init => self.step_init(env),
+            FrontState::WaitPort => {
+                let p = self.step_wait_port(env);
+                if matches!(self.state, FrontState::Connected) {
+                    // Run the data plane immediately after connecting.
+                    self.step_connected(env, rt) || p
+                } else {
+                    p
+                }
+            }
+            FrontState::Connected => self.step_connected(env, rt),
+        }
+    }
+
+    fn watch_ports(&self) -> Vec<Port> {
+        self.port.into_iter().collect()
+    }
+}

@@ -1,0 +1,111 @@
+//! A small HTTP client — the `httperf` analogue used by the Figure 12/13
+//! load generators.
+
+use mirage_net::{Ipv4Addr, NetError, Stack, TcpStream};
+
+use crate::wire::{Request, Response, ResponseParser};
+
+/// Client-side errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClientError {
+    /// Transport failure.
+    Net(NetError),
+    /// The server's response was malformed or the stream ended early.
+    BadResponse,
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Net(e) => write!(f, "transport error: {e}"),
+            ClientError::BadResponse => f.write_str("malformed or truncated response"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<NetError> for ClientError {
+    fn from(e: NetError) -> ClientError {
+        ClientError::Net(e)
+    }
+}
+
+/// A persistent HTTP/1.1 connection.
+pub struct HttpConnection {
+    stream: TcpStream,
+    parser: ResponseParser,
+}
+
+impl std::fmt::Debug for HttpConnection {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "HttpConnection({:?})", self.stream)
+    }
+}
+
+impl HttpConnection {
+    /// Opens a connection to `server:port`.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors from [`Stack::tcp_connect`].
+    pub async fn open(
+        stack: &Stack,
+        server: Ipv4Addr,
+        port: u16,
+    ) -> Result<HttpConnection, ClientError> {
+        let stream = stack.tcp_connect(server, port).await?;
+        Ok(HttpConnection {
+            stream,
+            parser: ResponseParser::new(),
+        })
+    }
+
+    /// Sends `req` and awaits the matching response (serialised per
+    /// connection, as HTTP/1.1 requires).
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::BadResponse`] on malformed data or early close.
+    pub async fn request(&mut self, req: &Request) -> Result<Response, ClientError> {
+        self.stream.write(&req.encode());
+        loop {
+            if let Some(resp) = self
+                .parser
+                .take()
+                .map_err(|_| ClientError::BadResponse)?
+            {
+                return Ok(resp);
+            }
+            match self.stream.read().await {
+                Some(chunk) => self.parser.feed(&chunk),
+                None => return Err(ClientError::BadResponse),
+            }
+        }
+    }
+
+    /// Closes the connection gracefully.
+    pub async fn close(mut self) {
+        self.stream.close();
+        self.stream.wait_closed().await;
+    }
+}
+
+/// One-shot GET convenience.
+///
+/// # Errors
+///
+/// See [`HttpConnection::request`].
+pub async fn get(
+    stack: &Stack,
+    server: Ipv4Addr,
+    port: u16,
+    path: &str,
+) -> Result<Response, ClientError> {
+    let mut conn = HttpConnection::open(stack, server, port).await?;
+    let mut req = Request::get(path);
+    req.keep_alive = false;
+    let resp = conn.request(&req).await?;
+    conn.close().await;
+    Ok(resp)
+}

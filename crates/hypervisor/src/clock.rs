@@ -1,0 +1,214 @@
+//! Virtual time.
+//!
+//! Every experiment in the paper is a *time* measurement — boot latency,
+//! thread jitter, throughput. To make those measurements deterministic and
+//! hardware-independent, the hypervisor substrate runs on a virtual clock:
+//! a nanosecond counter advanced only by the discrete-event scheduler.
+//! Guests read it through `DomainEnv::now` (the paper's "domain wallclock
+//! time", §4.1.2) and charge their CPU work to it via `DomainEnv::consume`.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Sub};
+
+/// A span of virtual time, in nanoseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Dur(u64);
+
+impl Dur {
+    /// The zero-length span.
+    pub const ZERO: Dur = Dur(0);
+
+    /// Builds a duration from nanoseconds.
+    pub const fn nanos(ns: u64) -> Dur {
+        Dur(ns)
+    }
+
+    /// Builds a duration from microseconds.
+    pub const fn micros(us: u64) -> Dur {
+        Dur(us * 1_000)
+    }
+
+    /// Builds a duration from milliseconds.
+    pub const fn millis(ms: u64) -> Dur {
+        Dur(ms * 1_000_000)
+    }
+
+    /// Builds a duration from whole seconds.
+    pub const fn secs(s: u64) -> Dur {
+        Dur(s * 1_000_000_000)
+    }
+
+    /// The span in nanoseconds.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// The span as fractional seconds (for reporting).
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// The span as fractional milliseconds (for reporting).
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Saturating subtraction.
+    pub fn saturating_sub(self, rhs: Dur) -> Dur {
+        Dur(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Largest of two spans.
+    pub fn max(self, rhs: Dur) -> Dur {
+        Dur(self.0.max(rhs.0))
+    }
+}
+
+impl fmt::Display for Dur {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000_000 {
+            write!(f, "{:.3}s", self.as_secs_f64())
+        } else if self.0 >= 1_000_000 {
+            write!(f, "{:.3}ms", self.0 as f64 / 1e6)
+        } else if self.0 >= 1_000 {
+            write!(f, "{:.3}us", self.0 as f64 / 1e3)
+        } else {
+            write!(f, "{}ns", self.0)
+        }
+    }
+}
+
+impl Add for Dur {
+    type Output = Dur;
+    fn add(self, rhs: Dur) -> Dur {
+        Dur(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Dur {
+    fn add_assign(&mut self, rhs: Dur) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Dur {
+    type Output = Dur;
+    fn sub(self, rhs: Dur) -> Dur {
+        Dur(self.0 - rhs.0)
+    }
+}
+
+impl Mul<u64> for Dur {
+    type Output = Dur;
+    fn mul(self, rhs: u64) -> Dur {
+        Dur(self.0 * rhs)
+    }
+}
+
+impl Div<u64> for Dur {
+    type Output = Dur;
+    fn div(self, rhs: u64) -> Dur {
+        Dur(self.0 / rhs)
+    }
+}
+
+/// A point in virtual time (nanoseconds since hypervisor start).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Time(u64);
+
+impl Time {
+    /// The hypervisor epoch.
+    pub const ZERO: Time = Time(0);
+
+    /// The far future — used as the "no deadline" sentinel.
+    pub const MAX: Time = Time(u64::MAX);
+
+    /// Builds an instant from raw nanoseconds since the epoch.
+    pub const fn from_nanos(ns: u64) -> Time {
+        Time(ns)
+    }
+
+    /// Nanoseconds since the epoch.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Seconds since the epoch as a float (for reporting).
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// The span from `earlier` to `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `earlier` is after `self`.
+    pub fn since(self, earlier: Time) -> Dur {
+        assert!(earlier.0 <= self.0, "time went backwards");
+        Dur(self.0 - earlier.0)
+    }
+
+    /// Saturating span from `earlier` to `self` (zero if earlier is later).
+    pub fn saturating_since(self, earlier: Time) -> Dur {
+        Dur(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl fmt::Display for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t+{}", Dur(self.0))
+    }
+}
+
+impl Add<Dur> for Time {
+    type Output = Time;
+    fn add(self, rhs: Dur) -> Time {
+        Time(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign<Dur> for Time {
+    fn add_assign(&mut self, rhs: Dur) {
+        self.0 = self.0.saturating_add(rhs.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_scale_correctly() {
+        assert_eq!(Dur::secs(2).as_nanos(), 2_000_000_000);
+        assert_eq!(Dur::millis(3).as_nanos(), 3_000_000);
+        assert_eq!(Dur::micros(4).as_nanos(), 4_000);
+        assert_eq!(Dur::nanos(5).as_nanos(), 5);
+    }
+
+    #[test]
+    fn instant_arithmetic() {
+        let t0 = Time::ZERO;
+        let t1 = t0 + Dur::millis(10);
+        assert_eq!(t1.since(t0), Dur::millis(10));
+        assert_eq!(t0.saturating_since(t1), Dur::ZERO);
+    }
+
+    #[test]
+    fn max_is_sticky_under_addition() {
+        assert_eq!(Time::MAX + Dur::secs(1), Time::MAX);
+    }
+
+    #[test]
+    fn display_picks_sensible_units() {
+        assert_eq!(Dur::nanos(12).to_string(), "12ns");
+        assert_eq!(Dur::micros(12).to_string(), "12.000us");
+        assert_eq!(Dur::millis(12).to_string(), "12.000ms");
+        assert_eq!(Dur::secs(12).to_string(), "12.000s");
+    }
+
+    #[test]
+    #[should_panic(expected = "time went backwards")]
+    fn since_panics_when_reversed() {
+        let _ = Time::ZERO.since(Time::from_nanos(1));
+    }
+}

@@ -1,0 +1,1007 @@
+//! A Xen-like hypervisor substrate for mirage-rs.
+//!
+//! The paper's whole premise is that "the hypervisor provides a virtual
+//! hardware abstraction" (§2) stable enough that a library OS never needs
+//! real device drivers. This crate is that abstraction, rebuilt as a
+//! deterministic discrete-event simulator so every experiment in the paper
+//! can be reproduced on a laptop with no Xen, no NIC and no SSD:
+//!
+//! * **Domains** host [`Guest`] state machines (unikernels, conventional-OS
+//!   models) and run on a configurable number of physical CPUs.
+//! * A **virtual clock** ([`clock::Time`]) advances only through the
+//!   scheduler; guests charge their CPU work to it via
+//!   [`DomainEnv::consume`], making all timing results reproducible.
+//! * **Event channels** ([`event`]), **grant tables** ([`grant`]) and the
+//!   **seal** page-table extension ([`memory`]) reproduce the inter-VM
+//!   communication and security mechanisms of §2.3 and §3.4.
+//! * The **toolstack** ([`toolstack`]) models synchronous and parallel
+//!   domain construction — the distinction between Figure 5 and Figure 6.
+//! * A single **cost table** ([`costs::CostTable`]) holds every unit cost;
+//!   figure shapes derive from operation *counts*, not per-figure tuning.
+//!
+//! # Example: a sleeping guest
+//!
+//! ```
+//! use mirage_hypervisor::{DomainEnv, Dur, Guest, Hypervisor, Step, Wake};
+//!
+//! struct Sleeper { slept: bool }
+//! impl Guest for Sleeper {
+//!     fn step(&mut self, env: &mut DomainEnv<'_>) -> Step {
+//!         if !self.slept {
+//!             self.slept = true;
+//!             let deadline = env.now() + Dur::millis(5);
+//!             Step::Yield(Wake::at(deadline))
+//!         } else {
+//!             Step::Exit(0)
+//!         }
+//!     }
+//! }
+//!
+//! let mut hv = Hypervisor::new();
+//! let dom = hv.create_domain("sleeper", 16, Box::new(Sleeper { slept: false }));
+//! hv.run();
+//! assert_eq!(hv.exit_code(dom), Some(0));
+//! assert_eq!(hv.now().as_secs_f64(), 0.005);
+//! ```
+
+pub mod clock;
+pub mod costs;
+pub mod event;
+pub mod grant;
+pub mod memory;
+pub mod toolstack;
+
+use std::fmt;
+
+pub use clock::{Dur, Time};
+pub use costs::CostTable;
+use event::{EventError, EventSubsystem, Port};
+use grant::{GrantError, GrantRef, GrantTable, SharedPage};
+use memory::{AddressSpace, Mapping, MemError};
+
+/// Size in bytes of a machine page.
+pub const PAGE_SIZE: usize = 4096;
+
+/// Identifies a domain (VM) for the lifetime of the hypervisor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct DomainId(pub u32);
+
+impl DomainId {
+    pub(crate) fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for DomainId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "dom{}", self.0)
+    }
+}
+
+/// What a guest asks for when it blocks — PVBoot's `domainpoll` arguments:
+/// "blocks the VM on a set of event channels and a timeout" (§3.2).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Wake {
+    /// Absolute virtual-time deadline, if any.
+    pub deadline: Option<Time>,
+    /// Event-channel ports whose notification wakes the domain.
+    pub ports: Vec<Port>,
+}
+
+impl Wake {
+    /// Reschedule as soon as a physical CPU is free (a cooperative yield).
+    pub fn now() -> Wake {
+        Wake {
+            deadline: Some(Time::ZERO),
+            ports: Vec::new(),
+        }
+    }
+
+    /// Sleep until the absolute instant `t`.
+    pub fn at(t: Time) -> Wake {
+        Wake {
+            deadline: Some(t),
+            ports: Vec::new(),
+        }
+    }
+
+    /// Block until `port` is notified.
+    pub fn on_port(port: Port) -> Wake {
+        Wake {
+            deadline: None,
+            ports: vec![port],
+        }
+    }
+
+    /// Block until any of `ports` is notified.
+    pub fn on_ports(ports: Vec<Port>) -> Wake {
+        Wake {
+            deadline: None,
+            ports,
+        }
+    }
+
+    /// Block forever (only an exit or external wake ends the domain).
+    pub fn never() -> Wake {
+        Wake::default()
+    }
+
+    /// Adds a timeout to an event wait.
+    pub fn with_deadline(mut self, t: Time) -> Wake {
+        self.deadline = Some(t);
+        self
+    }
+}
+
+/// The result of one guest scheduling quantum.
+#[derive(Debug)]
+pub enum Step {
+    /// Block per the contained [`Wake`] condition.
+    Yield(Wake),
+    /// Shut the domain down with an exit code — "the domain subsequently
+    /// shuts down with the VM exit code matching the thread return value"
+    /// (§3.3).
+    Exit(i64),
+}
+
+/// A guest workload hosted in a domain.
+///
+/// Guests are *state machines*: the hypervisor calls [`Guest::step`] each
+/// time the domain becomes runnable, and the guest returns how it wants to
+/// block next. The Mirage runtime implements this by running its
+/// cooperative thread executor until it stalls; the conventional-OS
+/// baseline implements it with a process-scheduler model.
+pub trait Guest: Send {
+    /// Runs the domain until it would block, charging CPU time via
+    /// [`DomainEnv::consume`].
+    fn step(&mut self, env: &mut DomainEnv<'_>) -> Step;
+}
+
+/// A timestamped marker recorded by a guest (boot-ready signals, request
+/// completions); the experiment harnesses read these out after a run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Observation {
+    /// Recording domain.
+    pub dom: DomainId,
+    /// Free-form key, e.g. `"boot-ready"`.
+    pub key: String,
+    /// Virtual time of the record.
+    pub at: Time,
+}
+
+/// Aggregate hypervisor counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct HvStats {
+    /// Total hypercalls executed.
+    pub hypercalls: u64,
+    /// Event-channel notifications delivered.
+    pub notifications: u64,
+    /// Grant map operations.
+    pub grant_maps: u64,
+    /// Hypervisor-mediated page copies.
+    pub grant_copies: u64,
+    /// Guest scheduling quanta executed.
+    pub steps: u64,
+}
+
+pub(crate) struct System {
+    now: Time,
+    costs: CostTable,
+    events: EventSubsystem,
+    grants: GrantTable,
+    aspaces: Vec<AddressSpace>,
+    consoles: Vec<String>,
+    observations: Vec<Observation>,
+    hypercalls: u64,
+}
+
+impl System {
+    fn add_domain(&mut self, dom: DomainId) {
+        let idx = dom.index();
+        if self.aspaces.len() <= idx {
+            self.aspaces.resize_with(idx + 1, AddressSpace::new);
+            self.consoles.resize_with(idx + 1, String::new);
+        }
+        self.events.add_domain(dom);
+    }
+}
+
+/// The hypercall and accounting surface a [`Guest`] sees while running.
+///
+/// Every hypercall charges [`CostTable::hypercall`] to the domain's CPU
+/// time in addition to the operation's own cost, so architectures that trap
+/// more pay more — the structural basis of the paper's comparisons.
+pub struct DomainEnv<'a> {
+    dom: DomainId,
+    start: Time,
+    consumed: Dur,
+    sys: &'a mut System,
+    wakes: Vec<(DomainId, Option<Port>, Time)>,
+}
+
+impl<'a> DomainEnv<'a> {
+    /// The calling domain's id.
+    pub fn domid(&self) -> DomainId {
+        self.dom
+    }
+
+    /// Current virtual time as the guest perceives it (step start plus CPU
+    /// time consumed so far).
+    pub fn now(&self) -> Time {
+        self.start + self.consumed
+    }
+
+    /// Charges `d` of CPU work to this domain.
+    pub fn consume(&mut self, d: Dur) {
+        self.consumed += d;
+    }
+
+    /// The substrate cost table (read-only; guests use it to price their
+    /// own modelled work, e.g. a memcpy).
+    pub fn costs(&self) -> &CostTable {
+        &self.sys.costs
+    }
+
+    fn hypercall(&mut self) {
+        self.consumed += self.sys.costs.hypercall;
+        self.sys.hypercalls += 1;
+    }
+
+    /// Appends to the domain's console (debug output).
+    pub fn console_write(&mut self, s: &str) {
+        self.hypercall();
+        self.sys.consoles[self.dom.index()].push_str(s);
+    }
+
+    /// Records a timestamped observation for the experiment harness.
+    pub fn observe(&mut self, key: &str) {
+        let at = self.now();
+        self.sys.observations.push(Observation {
+            dom: self.dom,
+            key: key.to_owned(),
+            at,
+        });
+    }
+
+    // ----- event channels ------------------------------------------------
+
+    /// Allocates an unbound port that `remote` may bind.
+    pub fn evtchn_alloc_unbound(&mut self, remote: DomainId) -> Port {
+        self.hypercall();
+        self.sys.events.alloc_unbound(self.dom, remote)
+    }
+
+    /// Completes an event-channel pair with `(remote, remote_port)`.
+    ///
+    /// # Errors
+    ///
+    /// See [`EventSubsystem::bind_interdomain`].
+    pub fn evtchn_bind(&mut self, remote: DomainId, remote_port: Port) -> Result<Port, EventError> {
+        self.hypercall();
+        self.sys.events.bind_interdomain(self.dom, remote, remote_port)
+    }
+
+    /// Notifies the peer of `port`, waking it if it is blocked on the
+    /// channel.
+    ///
+    /// # Errors
+    ///
+    /// See [`EventSubsystem::notify`].
+    pub fn evtchn_notify(&mut self, port: Port) -> Result<(), EventError> {
+        self.hypercall();
+        self.consumed += self.sys.costs.event_notify;
+        let (peer_dom, peer_port) = self.sys.events.notify(self.dom, port)?;
+        let at = self.now();
+        self.wakes.push((peer_dom, Some(peer_port), at));
+        Ok(())
+    }
+
+    /// Reads and clears the pending bit of a local port.
+    ///
+    /// Reading the shared-info bitmap needs no trap, so this is free.
+    ///
+    /// # Errors
+    ///
+    /// See [`EventSubsystem::consume_pending`].
+    pub fn evtchn_consume(&mut self, port: Port) -> Result<bool, EventError> {
+        self.sys.events.consume_pending(self.dom, port)
+    }
+
+    /// Closes a local port.
+    ///
+    /// # Errors
+    ///
+    /// See [`EventSubsystem::close`].
+    pub fn evtchn_close(&mut self, port: Port) -> Result<(), EventError> {
+        self.hypercall();
+        self.sys.events.close(self.dom, port)
+    }
+
+    /// Delivers a virtual interrupt: unconditionally wakes `dom` (used for
+    /// xenstore watch events and other out-of-band signals).
+    pub fn virq(&mut self, dom: DomainId) {
+        self.hypercall();
+        let at = self.now();
+        self.wakes.push((dom, None, at));
+    }
+
+    // ----- grant table ----------------------------------------------------
+
+    /// Grants `grantee` access to `page`.
+    pub fn grant(&mut self, grantee: DomainId, page: SharedPage, writable: bool) -> GrantRef {
+        self.hypercall();
+        self.sys.grants.grant(self.dom, grantee, page, writable)
+    }
+
+    /// Maps a grant issued to this domain.
+    ///
+    /// # Errors
+    ///
+    /// See [`GrantTable::map`].
+    pub fn grant_map(&mut self, gref: GrantRef, writable: bool) -> Result<SharedPage, GrantError> {
+        self.hypercall();
+        self.consumed += self.sys.costs.grant_map;
+        self.sys.grants.map(self.dom, gref, writable)
+    }
+
+    /// Unmaps a previously mapped grant.
+    ///
+    /// # Errors
+    ///
+    /// See [`GrantTable::unmap`].
+    pub fn grant_unmap(&mut self, gref: GrantRef) -> Result<(), GrantError> {
+        self.hypercall();
+        self.sys.grants.unmap(self.dom, gref)
+    }
+
+    /// Copies out of a granted page via the hypervisor (the conventional
+    /// receive path; unikernels map instead).
+    ///
+    /// # Errors
+    ///
+    /// See [`GrantTable::copy_out`].
+    pub fn grant_copy_out(
+        &mut self,
+        gref: GrantRef,
+        offset: usize,
+        dst: &mut [u8],
+    ) -> Result<(), GrantError> {
+        self.hypercall();
+        self.consumed += self.sys.costs.grant_copy;
+        let copy_cost = self.sys.costs.copy(dst.len());
+        self.consumed += copy_cost;
+        self.sys.grants.copy_out(self.dom, gref, offset, dst)
+    }
+
+    /// Revokes a grant this domain issued.
+    ///
+    /// # Errors
+    ///
+    /// See [`GrantTable::revoke`].
+    pub fn grant_revoke(&mut self, gref: GrantRef) -> Result<(), GrantError> {
+        self.hypercall();
+        self.sys.grants.revoke(self.dom, gref)
+    }
+
+    // ----- memory / sealing ------------------------------------------------
+
+    /// Installs a page-table mapping.
+    ///
+    /// # Errors
+    ///
+    /// See [`AddressSpace::map`].
+    pub fn mmu_map(&mut self, m: Mapping) -> Result<(), MemError> {
+        self.hypercall();
+        self.consumed += self.sys.costs.pte_update * m.pages;
+        self.sys.aspaces[self.dom.index()].map(m)
+    }
+
+    /// Removes the mapping at `vaddr`.
+    ///
+    /// # Errors
+    ///
+    /// See [`AddressSpace::unmap`].
+    pub fn mmu_unmap(&mut self, vaddr: u64) -> Result<Mapping, MemError> {
+        self.hypercall();
+        self.sys.aspaces[self.dom.index()].unmap(vaddr)
+    }
+
+    /// Changes protection bits at `vaddr`.
+    ///
+    /// # Errors
+    ///
+    /// See [`AddressSpace::protect`].
+    pub fn mmu_protect(&mut self, vaddr: u64, w: bool, x: bool) -> Result<(), MemError> {
+        self.hypercall();
+        self.sys.aspaces[self.dom.index()].protect(vaddr, w, x)
+    }
+
+    /// The paper's `seal` hypercall: W^X-audit then freeze the page tables
+    /// (§2.3.3).
+    ///
+    /// # Errors
+    ///
+    /// See [`AddressSpace::seal`].
+    pub fn seal(&mut self) -> Result<(), MemError> {
+        self.hypercall();
+        self.sys.aspaces[self.dom.index()].seal()
+    }
+
+    /// Whether this domain's address space is sealed.
+    pub fn is_sealed(&self) -> bool {
+        self.sys.aspaces[self.dom.index()].is_sealed()
+    }
+}
+
+/// Why [`Hypervisor::run`] stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// Every domain has exited.
+    AllExited,
+    /// Live domains remain but none can ever run again (all blocked on
+    /// events with no deadline).
+    Idle,
+    /// The supplied time limit was reached.
+    TimeLimit,
+    /// The step budget was exhausted (runaway-guest backstop).
+    StepBudget,
+}
+
+enum SchedState {
+    Runnable(Time),
+    Blocked(Wake),
+    Exited(i64),
+}
+
+struct Slot {
+    name: String,
+    mem_mib: u64,
+    guest: Option<Box<dyn Guest>>,
+    state: SchedState,
+    ready_at: Time,
+    steps: u64,
+}
+
+/// The hypervisor: owns the virtual clock, all domains and the shared
+/// subsystems, and runs the discrete-event schedule.
+pub struct Hypervisor {
+    sys: System,
+    slots: Vec<Slot>,
+    pcpu_free: Vec<Time>,
+    step_budget: u64,
+}
+
+impl fmt::Debug for Hypervisor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Hypervisor")
+            .field("now", &self.sys.now)
+            .field("domains", &self.slots.len())
+            .field("pcpus", &self.pcpu_free.len())
+            .finish()
+    }
+}
+
+impl Default for Hypervisor {
+    fn default() -> Self {
+        Hypervisor::new()
+    }
+}
+
+impl Hypervisor {
+    /// A hypervisor with 6 physical CPUs (the host configuration of the
+    /// paper's Figure 13 experiment) and default costs.
+    pub fn new() -> Hypervisor {
+        Hypervisor::with_pcpus(6)
+    }
+
+    /// A hypervisor with `pcpus` physical CPUs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pcpus` is zero.
+    pub fn with_pcpus(pcpus: usize) -> Hypervisor {
+        assert!(pcpus > 0, "a host needs at least one physical CPU");
+        Hypervisor {
+            sys: System {
+                now: Time::ZERO,
+                costs: CostTable::defaults(),
+                events: EventSubsystem::new(),
+                grants: GrantTable::new(),
+                aspaces: Vec::new(),
+                consoles: Vec::new(),
+                observations: Vec::new(),
+                hypercalls: 0,
+            },
+            slots: Vec::new(),
+            pcpu_free: vec![Time::ZERO; pcpus],
+            step_budget: u64::MAX,
+        }
+    }
+
+    /// Replaces the cost table (sensitivity experiments).
+    pub fn set_costs(&mut self, costs: CostTable) {
+        self.sys.costs = costs;
+    }
+
+    /// The active cost table.
+    pub fn costs(&self) -> &CostTable {
+        &self.sys.costs
+    }
+
+    /// Caps the total number of guest steps [`Hypervisor::run`] may execute.
+    pub fn set_step_budget(&mut self, budget: u64) {
+        self.step_budget = budget;
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> Time {
+        self.sys.now
+    }
+
+    /// Creates a domain that becomes runnable immediately.
+    pub fn create_domain(
+        &mut self,
+        name: impl Into<String>,
+        mem_mib: u64,
+        guest: Box<dyn Guest>,
+    ) -> DomainId {
+        let at = self.sys.now;
+        self.create_domain_at(name, mem_mib, guest, at)
+    }
+
+    /// Creates a domain that becomes runnable at `at` (the toolstack uses
+    /// this to model construction latency).
+    pub fn create_domain_at(
+        &mut self,
+        name: impl Into<String>,
+        mem_mib: u64,
+        guest: Box<dyn Guest>,
+        at: Time,
+    ) -> DomainId {
+        let dom = DomainId(self.slots.len() as u32);
+        self.sys.add_domain(dom);
+        self.slots.push(Slot {
+            name: name.into(),
+            mem_mib,
+            guest: Some(guest),
+            state: SchedState::Runnable(at),
+            ready_at: at,
+            steps: 0,
+        });
+        dom
+    }
+
+    /// Forces a blocked domain runnable (external interrupt injection for
+    /// harnesses).
+    pub fn wake_external(&mut self, dom: DomainId) {
+        let now = self.sys.now;
+        let slot = &mut self.slots[dom.index()];
+        if !matches!(slot.state, SchedState::Exited(_)) {
+            slot.state = SchedState::Runnable(now.max(slot.ready_at));
+        }
+    }
+
+    /// The exit code of `dom`, if it has exited.
+    pub fn exit_code(&self, dom: DomainId) -> Option<i64> {
+        match self.slots.get(dom.index())?.state {
+            SchedState::Exited(code) => Some(code),
+            _ => None,
+        }
+    }
+
+    /// Name a domain was created with.
+    pub fn domain_name(&self, dom: DomainId) -> &str {
+        &self.slots[dom.index()].name
+    }
+
+    /// Memory size a domain was created with.
+    pub fn domain_mem_mib(&self, dom: DomainId) -> u64 {
+        self.slots[dom.index()].mem_mib
+    }
+
+    /// Console contents of `dom`.
+    pub fn console(&self, dom: DomainId) -> &str {
+        &self.sys.consoles[dom.index()]
+    }
+
+    /// All observations recorded so far.
+    pub fn observations(&self) -> &[Observation] {
+        &self.sys.observations
+    }
+
+    /// First observation matching `dom` and `key`.
+    pub fn observation(&self, dom: DomainId, key: &str) -> Option<&Observation> {
+        self.sys
+            .observations
+            .iter()
+            .find(|o| o.dom == dom && o.key == key)
+    }
+
+    /// Aggregate counters.
+    pub fn stats(&self) -> HvStats {
+        HvStats {
+            hypercalls: self.sys.hypercalls,
+            notifications: self.sys.events.notification_count(),
+            grant_maps: self.sys.grants.map_count(),
+            grant_copies: self.sys.grants.copy_count(),
+            steps: self.slots.iter().map(|s| s.steps).sum(),
+        }
+    }
+
+    /// Read access to a domain's address space (security tests).
+    pub fn address_space(&self, dom: DomainId) -> &AddressSpace {
+        &self.sys.aspaces[dom.index()]
+    }
+
+    /// Runs until every domain exits, the system idles, or the step budget
+    /// is exhausted.
+    pub fn run(&mut self) -> RunOutcome {
+        self.run_until(Time::MAX)
+    }
+
+    /// Runs until `limit`, returning early on exit/idle/budget.
+    pub fn run_until(&mut self, limit: Time) -> RunOutcome {
+        let mut budget = self.step_budget;
+        loop {
+            let Some((idx, eligible)) = self.next_eligible() else {
+                return if self
+                    .slots
+                    .iter()
+                    .all(|s| matches!(s.state, SchedState::Exited(_)))
+                {
+                    RunOutcome::AllExited
+                } else {
+                    RunOutcome::Idle
+                };
+            };
+            // Place the step on the earliest-free physical CPU.
+            let pcpu = self
+                .pcpu_free
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, t)| **t)
+                .map(|(i, _)| i)
+                .expect("at least one pcpu");
+            let start = eligible.max(self.pcpu_free[pcpu]);
+            if start > limit {
+                self.sys.now = limit;
+                return RunOutcome::TimeLimit;
+            }
+            if budget == 0 {
+                return RunOutcome::StepBudget;
+            }
+            budget -= 1;
+            self.sys.now = self.sys.now.max(start);
+
+            let dom = DomainId(idx as u32);
+            let mut guest = self.slots[idx].guest.take().expect("guest present");
+            let mut env = DomainEnv {
+                dom,
+                start,
+                consumed: Dur::ZERO,
+                sys: &mut self.sys,
+                wakes: Vec::new(),
+            };
+            let step = guest.step(&mut env);
+            let consumed = env.consumed;
+            let wakes = std::mem::take(&mut env.wakes);
+            drop(env);
+
+            let end = start + consumed;
+            self.sys.now = self.sys.now.max(end);
+            self.pcpu_free[pcpu] = end;
+            let slot = &mut self.slots[idx];
+            slot.guest = Some(guest);
+            slot.ready_at = end;
+            slot.steps += 1;
+            match step {
+                Step::Exit(code) => slot.state = SchedState::Exited(code),
+                Step::Yield(wake) => {
+                    // domainpoll semantics: check pending bits before blocking.
+                    let already = wake
+                        .ports
+                        .iter()
+                        .any(|p| self.sys.events.is_pending(dom, *p));
+                    slot.state = if already {
+                        SchedState::Runnable(end)
+                    } else {
+                        SchedState::Blocked(wake)
+                    };
+                }
+            }
+            for (peer, port, at) in wakes {
+                self.deliver_wake(peer, port, at);
+            }
+        }
+    }
+
+    /// Runs for `dur` of virtual time from the current instant.
+    pub fn run_for(&mut self, dur: Dur) -> RunOutcome {
+        let limit = self.sys.now + dur;
+        self.run_until(limit)
+    }
+
+    fn deliver_wake(&mut self, dom: DomainId, port: Option<Port>, at: Time) {
+        let slot = &mut self.slots[dom.index()];
+        if let SchedState::Blocked(wake) = &slot.state {
+            let hit = match port {
+                Some(p) => wake.ports.contains(&p),
+                // A virq wakes the domain regardless of its poll set.
+                None => true,
+            };
+            if hit {
+                slot.state = SchedState::Runnable(at.max(slot.ready_at));
+            }
+            // Unwatched ports: the pending bit stays set in the event table
+            // and is checked the next time the domain blocks.
+        }
+    }
+
+    fn next_eligible(&self) -> Option<(usize, Time)> {
+        let mut best: Option<(usize, Time)> = None;
+        for (idx, slot) in self.slots.iter().enumerate() {
+            let eligible = match &slot.state {
+                SchedState::Exited(_) => continue,
+                SchedState::Runnable(t) => (*t).max(slot.ready_at),
+                SchedState::Blocked(wake) => match wake.deadline {
+                    Some(d) => d.max(slot.ready_at),
+                    None => continue,
+                },
+            };
+            match best {
+                Some((_, t)) if t <= eligible => {}
+                _ => best = Some((idx, eligible)),
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Exits after consuming a fixed amount of CPU across several yields.
+    struct Worker {
+        quanta: u32,
+        cost: Dur,
+    }
+
+    impl Guest for Worker {
+        fn step(&mut self, env: &mut DomainEnv<'_>) -> Step {
+            env.consume(self.cost);
+            if self.quanta == 0 {
+                return Step::Exit(7);
+            }
+            self.quanta -= 1;
+            Step::Yield(Wake::now())
+        }
+    }
+
+    /// Sleeps a fixed duration then records an observation and exits.
+    struct Sleeper {
+        dur: Dur,
+        armed: bool,
+    }
+
+    impl Guest for Sleeper {
+        fn step(&mut self, env: &mut DomainEnv<'_>) -> Step {
+            if !self.armed {
+                self.armed = true;
+                let t = env.now() + self.dur;
+                Step::Yield(Wake::at(t))
+            } else {
+                env.observe("woke");
+                Step::Exit(0)
+            }
+        }
+    }
+
+    #[test]
+    fn single_domain_runs_to_exit() {
+        let mut hv = Hypervisor::with_pcpus(1);
+        let d = hv.create_domain("w", 16, Box::new(Worker { quanta: 3, cost: Dur::micros(10) }));
+        assert_eq!(hv.run(), RunOutcome::AllExited);
+        assert_eq!(hv.exit_code(d), Some(7));
+        assert_eq!(hv.now(), Time::ZERO + Dur::micros(40), "4 quanta serialised");
+    }
+
+    #[test]
+    fn timers_advance_virtual_time_exactly() {
+        let mut hv = Hypervisor::with_pcpus(1);
+        let d = hv.create_domain("s", 16, Box::new(Sleeper { dur: Dur::secs(3), armed: false }));
+        assert_eq!(hv.run(), RunOutcome::AllExited);
+        let obs = hv.observation(d, "woke").expect("observation recorded");
+        assert_eq!(obs.at, Time::ZERO + Dur::secs(3));
+    }
+
+    #[test]
+    fn two_pcpus_run_domains_in_parallel() {
+        let mut hv = Hypervisor::with_pcpus(2);
+        for _ in 0..2 {
+            hv.create_domain("w", 16, Box::new(Worker { quanta: 0, cost: Dur::millis(5) }));
+        }
+        hv.run();
+        assert_eq!(hv.now(), Time::ZERO + Dur::millis(5), "steps overlapped");
+
+        let mut hv1 = Hypervisor::with_pcpus(1);
+        for _ in 0..2 {
+            hv1.create_domain("w", 16, Box::new(Worker { quanta: 0, cost: Dur::millis(5) }));
+        }
+        hv1.run();
+        assert_eq!(hv1.now(), Time::ZERO + Dur::millis(10), "steps serialised");
+    }
+
+    #[test]
+    fn run_until_stops_at_limit() {
+        let mut hv = Hypervisor::with_pcpus(1);
+        hv.create_domain("s", 16, Box::new(Sleeper { dur: Dur::secs(100), armed: false }));
+        let outcome = hv.run_until(Time::ZERO + Dur::secs(1));
+        assert_eq!(outcome, RunOutcome::TimeLimit);
+        assert_eq!(hv.now(), Time::ZERO + Dur::secs(1));
+        assert_eq!(hv.run(), RunOutcome::AllExited);
+    }
+
+    #[test]
+    fn blocked_forever_reports_idle() {
+        struct BlockForever;
+        impl Guest for BlockForever {
+            fn step(&mut self, _env: &mut DomainEnv<'_>) -> Step {
+                Step::Yield(Wake::never())
+            }
+        }
+        let mut hv = Hypervisor::with_pcpus(1);
+        hv.create_domain("b", 16, Box::new(BlockForever));
+        assert_eq!(hv.run(), RunOutcome::Idle);
+    }
+
+    #[test]
+    fn step_budget_halts_runaway_guest() {
+        struct Spinner;
+        impl Guest for Spinner {
+            fn step(&mut self, env: &mut DomainEnv<'_>) -> Step {
+                env.consume(Dur::nanos(1));
+                Step::Yield(Wake::now())
+            }
+        }
+        let mut hv = Hypervisor::with_pcpus(1);
+        hv.create_domain("spin", 16, Box::new(Spinner));
+        hv.set_step_budget(100);
+        assert_eq!(hv.run(), RunOutcome::StepBudget);
+        assert_eq!(hv.stats().steps, 100);
+    }
+
+    #[test]
+    fn event_channel_ping_pong_between_domains() {
+        // Server allocates an unbound port, observes it, and echoes every
+        // notification; client binds and sends 3 pings.
+        struct Server {
+            client: DomainId,
+            port: Option<Port>,
+        }
+        impl Guest for Server {
+            fn step(&mut self, env: &mut DomainEnv<'_>) -> Step {
+                match self.port {
+                    None => {
+                        let p = env.evtchn_alloc_unbound(self.client);
+                        env.observe(&format!("port:{}", p.0));
+                        self.port = Some(p);
+                        Step::Yield(Wake::on_port(p))
+                    }
+                    Some(p) => {
+                        if env.evtchn_consume(p).unwrap() {
+                            env.consume(Dur::micros(1));
+                            env.evtchn_notify(p).unwrap();
+                        }
+                        Step::Yield(Wake::on_port(p))
+                    }
+                }
+            }
+        }
+        struct Client {
+            server: DomainId,
+            server_port: Port,
+            port: Option<Port>,
+            remaining: u32,
+        }
+        impl Guest for Client {
+            fn step(&mut self, env: &mut DomainEnv<'_>) -> Step {
+                let p = match self.port {
+                    None => {
+                        let p = env.evtchn_bind(self.server, self.server_port).unwrap();
+                        self.port = Some(p);
+                        env.evtchn_notify(p).unwrap();
+                        self.remaining -= 1;
+                        return Step::Yield(Wake::on_port(p));
+                    }
+                    Some(p) => p,
+                };
+                if env.evtchn_consume(p).unwrap() {
+                    if self.remaining == 0 {
+                        return Step::Exit(0);
+                    }
+                    self.remaining -= 1;
+                    env.evtchn_notify(p).unwrap();
+                }
+                Step::Yield(Wake::on_port(p))
+            }
+        }
+
+        let mut hv = Hypervisor::with_pcpus(2);
+        let server = hv.create_domain(
+            "server",
+            16,
+            Box::new(Server {
+                client: DomainId(1),
+                port: None,
+            }),
+        );
+        // Let the server allocate its port first.
+        hv.run_for(Dur::micros(1));
+        let obs = hv
+            .observations()
+            .iter()
+            .find(|o| o.dom == server)
+            .expect("server advertised port");
+        let server_port = Port(obs.key.strip_prefix("port:").unwrap().parse().unwrap());
+        let client = hv.create_domain(
+            "client",
+            16,
+            Box::new(Client {
+                server,
+                server_port,
+                port: None,
+                remaining: 3,
+            }),
+        );
+        let outcome = hv.run();
+        assert_eq!(outcome, RunOutcome::Idle, "server still listening");
+        assert_eq!(hv.exit_code(client), Some(0));
+        assert!(hv.stats().notifications >= 6, "3 pings + 3 echoes");
+    }
+
+    #[test]
+    fn seal_hypercall_via_env() {
+        use memory::{Mapping, MemError, Region};
+        struct Sealer;
+        impl Guest for Sealer {
+            fn step(&mut self, env: &mut DomainEnv<'_>) -> Step {
+                env.mmu_map(Mapping::for_region(Region::Text, 0, 4)).unwrap();
+                env.mmu_map(Mapping::for_region(Region::Data, 4 * 4096, 4))
+                    .unwrap();
+                env.seal().unwrap();
+                assert!(env.is_sealed());
+                assert_eq!(
+                    env.mmu_protect(4 * 4096, true, true),
+                    Err(MemError::Sealed)
+                );
+                Step::Exit(0)
+            }
+        }
+        let mut hv = Hypervisor::with_pcpus(1);
+        let d = hv.create_domain("sealer", 16, Box::new(Sealer));
+        hv.run();
+        assert_eq!(hv.exit_code(d), Some(0));
+        assert!(hv.address_space(d).is_sealed());
+        assert_eq!(hv.address_space(d).rejected_updates(), 1);
+    }
+
+    #[test]
+    fn hypercalls_are_charged_to_virtual_time() {
+        struct Chatty;
+        impl Guest for Chatty {
+            fn step(&mut self, env: &mut DomainEnv<'_>) -> Step {
+                for _ in 0..10 {
+                    env.console_write("x");
+                }
+                Step::Exit(0)
+            }
+        }
+        let mut hv = Hypervisor::with_pcpus(1);
+        let d = hv.create_domain("c", 16, Box::new(Chatty));
+        hv.run();
+        assert_eq!(hv.console(d), "xxxxxxxxxx");
+        let expected = hv.costs().hypercall * 10;
+        assert_eq!(hv.now(), Time::ZERO + expected);
+    }
+}

@@ -1,0 +1,414 @@
+//! Guest address-space model and the `seal` hypervisor extension.
+//!
+//! Paper §2.3.3: "as part of its start-of-day initialisation, the unikernel
+//! establishes a set of page tables in which no page is both writable and
+//! executable and then issues a special seal hypercall which prevents
+//! further page table modifications." This module is that extension — the
+//! one piece of the paper that changed the hypervisor (their Xen 4.1 patch
+//! was under 50 lines; this module is about the same order).
+//!
+//! After sealing:
+//! * page-table mutation (map/unmap/protect) is rejected, **except**
+//! * new I/O mappings are allowed provided they are non-executable and do
+//!   not overlap any existing mapping (so device I/O keeps working, §2.3.3).
+
+use std::fmt;
+
+/// Role of a mapped region (drives the W^X audit and the Figure 2 layout).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Region {
+    /// Program text: executable, never writable.
+    Text,
+    /// Static data / the OCaml heaps: writable, never executable.
+    Data,
+    /// Guard page: no access at all.
+    Guard,
+    /// External I/O pages (grant mappings): writable, never executable.
+    Io,
+}
+
+/// One virtual-memory mapping of whole pages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Mapping {
+    /// Page-aligned virtual start address.
+    pub vaddr: u64,
+    /// Extent in 4 KiB pages.
+    pub pages: u64,
+    /// Writable?
+    pub writable: bool,
+    /// Executable?
+    pub executable: bool,
+    /// Region role.
+    pub region: Region,
+}
+
+impl Mapping {
+    /// Convenience constructor for a region with its canonical protection.
+    pub fn for_region(region: Region, vaddr: u64, pages: u64) -> Mapping {
+        let (writable, executable) = match region {
+            Region::Text => (false, true),
+            Region::Data => (true, false),
+            Region::Guard => (false, false),
+            Region::Io => (true, false),
+        };
+        Mapping {
+            vaddr,
+            pages,
+            writable,
+            executable,
+            region,
+        }
+    }
+
+    fn end(&self) -> u64 {
+        self.vaddr + self.pages * crate::PAGE_SIZE as u64
+    }
+
+    fn overlaps(&self, other: &Mapping) -> bool {
+        self.vaddr < other.end() && other.vaddr < self.end()
+    }
+}
+
+/// Errors from page-table hypercalls.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemError {
+    /// Address or extent is not page-aligned / zero-sized.
+    BadAlignment,
+    /// The new mapping overlaps an existing one.
+    Overlap,
+    /// The address space is sealed and the update is not a permitted I/O
+    /// mapping.
+    Sealed,
+    /// Sealing refused: a mapping violates W^X.
+    WxViolation,
+    /// No mapping at the given address.
+    NotMapped,
+    /// Seal issued twice.
+    AlreadySealed,
+}
+
+impl fmt::Display for MemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let msg = match self {
+            MemError::BadAlignment => "address or extent is not page-aligned",
+            MemError::Overlap => "mapping overlaps an existing mapping",
+            MemError::Sealed => "address space is sealed",
+            MemError::WxViolation => "a mapping is both writable and executable",
+            MemError::NotMapped => "no mapping at this address",
+            MemError::AlreadySealed => "address space is already sealed",
+        };
+        f.write_str(msg)
+    }
+}
+
+impl std::error::Error for MemError {}
+
+/// A guest's page-table state as the hypervisor sees it.
+#[derive(Debug, Default)]
+pub struct AddressSpace {
+    mappings: Vec<Mapping>,
+    sealed: bool,
+    rejected_updates: u64,
+}
+
+impl AddressSpace {
+    /// An empty, unsealed address space.
+    pub fn new() -> AddressSpace {
+        AddressSpace::default()
+    }
+
+    fn check_aligned(m: &Mapping) -> Result<(), MemError> {
+        if m.pages == 0 || !m.vaddr.is_multiple_of(crate::PAGE_SIZE as u64) {
+            return Err(MemError::BadAlignment);
+        }
+        Ok(())
+    }
+
+    /// Installs a mapping (`mmu_update`).
+    ///
+    /// # Errors
+    ///
+    /// * [`MemError::Sealed`] after sealing, unless the mapping is an
+    ///   [`Region::Io`] mapping that is non-executable and non-overlapping
+    ///   (the paper's explicit carve-out so sealing never blocks I/O).
+    /// * [`MemError::Overlap`] if it collides with an existing mapping.
+    pub fn map(&mut self, m: Mapping) -> Result<(), MemError> {
+        Self::check_aligned(&m)?;
+        if self.sealed && (m.region != Region::Io || m.executable) {
+            self.rejected_updates += 1;
+            return Err(MemError::Sealed);
+        }
+        if self.mappings.iter().any(|e| e.overlaps(&m)) {
+            if self.sealed {
+                self.rejected_updates += 1;
+                return Err(MemError::Sealed);
+            }
+            return Err(MemError::Overlap);
+        }
+        self.mappings.push(m);
+        Ok(())
+    }
+
+    /// Removes the mapping starting at `vaddr` (`mmu_update` unmap).
+    ///
+    /// # Errors
+    ///
+    /// Rejected entirely once sealed; [`MemError::NotMapped`] when absent.
+    pub fn unmap(&mut self, vaddr: u64) -> Result<Mapping, MemError> {
+        if self.sealed {
+            self.rejected_updates += 1;
+            return Err(MemError::Sealed);
+        }
+        let idx = self
+            .mappings
+            .iter()
+            .position(|m| m.vaddr == vaddr)
+            .ok_or(MemError::NotMapped)?;
+        Ok(self.mappings.swap_remove(idx))
+    }
+
+    /// Changes protection bits of the mapping at `vaddr`.
+    ///
+    /// # Errors
+    ///
+    /// Rejected entirely once sealed — this is precisely the W^X bypass a
+    /// code-injection attack needs, and the reason sealing exists.
+    pub fn protect(&mut self, vaddr: u64, writable: bool, executable: bool) -> Result<(), MemError> {
+        if self.sealed {
+            self.rejected_updates += 1;
+            return Err(MemError::Sealed);
+        }
+        let m = self
+            .mappings
+            .iter_mut()
+            .find(|m| m.vaddr == vaddr)
+            .ok_or(MemError::NotMapped)?;
+        m.writable = writable;
+        m.executable = executable;
+        Ok(())
+    }
+
+    /// The `seal` hypercall (paper §2.3.3): verifies W^X over every mapping
+    /// then freezes the page tables for the lifetime of the VM.
+    ///
+    /// # Errors
+    ///
+    /// * [`MemError::WxViolation`] if any page is writable **and**
+    ///   executable — the unikernel must fix its layout first.
+    /// * [`MemError::AlreadySealed`] on a second call.
+    pub fn seal(&mut self) -> Result<(), MemError> {
+        if self.sealed {
+            return Err(MemError::AlreadySealed);
+        }
+        if self.mappings.iter().any(|m| m.writable && m.executable) {
+            return Err(MemError::WxViolation);
+        }
+        self.sealed = true;
+        Ok(())
+    }
+
+    /// Whether the address space has been sealed.
+    pub fn is_sealed(&self) -> bool {
+        self.sealed
+    }
+
+    /// Number of page-table updates rejected since sealing (attack
+    /// telemetry for the security tests).
+    pub fn rejected_updates(&self) -> u64 {
+        self.rejected_updates
+    }
+
+    /// All current mappings (audit / layout tests).
+    pub fn mappings(&self) -> &[Mapping] {
+        &self.mappings
+    }
+
+    /// Looks up the mapping covering `vaddr`, if any.
+    pub fn lookup(&self, vaddr: u64) -> Option<&Mapping> {
+        self.mappings
+            .iter()
+            .find(|m| m.vaddr <= vaddr && vaddr < m.end())
+    }
+
+    /// True when no page is simultaneously writable and executable.
+    pub fn satisfies_wx(&self) -> bool {
+        self.mappings.iter().all(|m| !(m.writable && m.executable))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    const PAGE: u64 = crate::PAGE_SIZE as u64;
+
+    fn text(at: u64, pages: u64) -> Mapping {
+        Mapping::for_region(Region::Text, at, pages)
+    }
+
+    fn data(at: u64, pages: u64) -> Mapping {
+        Mapping::for_region(Region::Data, at, pages)
+    }
+
+    fn io(at: u64, pages: u64) -> Mapping {
+        Mapping::for_region(Region::Io, at, pages)
+    }
+
+    #[test]
+    fn canonical_layout_seals() {
+        let mut aspace = AddressSpace::new();
+        aspace.map(text(0, 16)).unwrap();
+        aspace.map(Mapping::for_region(Region::Guard, 16 * PAGE, 1)).unwrap();
+        aspace.map(data(17 * PAGE, 64)).unwrap();
+        aspace.map(io(1 << 30, 32)).unwrap();
+        assert!(aspace.satisfies_wx());
+        aspace.seal().unwrap();
+        assert!(aspace.is_sealed());
+    }
+
+    #[test]
+    fn wx_violation_blocks_seal() {
+        let mut aspace = AddressSpace::new();
+        aspace
+            .map(Mapping {
+                vaddr: 0,
+                pages: 1,
+                writable: true,
+                executable: true,
+                region: Region::Data,
+            })
+            .unwrap();
+        assert_eq!(aspace.seal(), Err(MemError::WxViolation));
+        assert!(!aspace.is_sealed());
+    }
+
+    #[test]
+    fn sealed_space_rejects_code_injection() {
+        let mut aspace = AddressSpace::new();
+        aspace.map(text(0, 4)).unwrap();
+        aspace.map(data(4 * PAGE, 4)).unwrap();
+        aspace.seal().unwrap();
+        // The attack: make the data region executable.
+        assert_eq!(
+            aspace.protect(4 * PAGE, true, true),
+            Err(MemError::Sealed)
+        );
+        // Or map fresh executable memory.
+        assert_eq!(
+            aspace.map(Mapping {
+                vaddr: 64 * PAGE,
+                pages: 1,
+                writable: false,
+                executable: true,
+                region: Region::Text,
+            }),
+            Err(MemError::Sealed)
+        );
+        // Or unmap a guard.
+        assert_eq!(aspace.unmap(0), Err(MemError::Sealed));
+        assert_eq!(aspace.rejected_updates(), 3);
+    }
+
+    #[test]
+    fn io_mappings_still_allowed_after_seal() {
+        let mut aspace = AddressSpace::new();
+        aspace.map(text(0, 4)).unwrap();
+        aspace.seal().unwrap();
+        // Non-executable, non-overlapping I/O mapping: permitted.
+        assert!(aspace.map(io(1 << 30, 1)).is_ok());
+        // Executable I/O mapping: refused.
+        assert_eq!(
+            aspace.map(Mapping {
+                vaddr: 1 << 31,
+                pages: 1,
+                writable: true,
+                executable: true,
+                region: Region::Io,
+            }),
+            Err(MemError::Sealed)
+        );
+        // Overlapping I/O mapping (would replace existing data): refused.
+        assert_eq!(aspace.map(io(0, 1)), Err(MemError::Sealed));
+    }
+
+    #[test]
+    fn overlap_detected_before_seal() {
+        let mut aspace = AddressSpace::new();
+        aspace.map(data(0, 4)).unwrap();
+        assert_eq!(aspace.map(data(2 * PAGE, 4)), Err(MemError::Overlap));
+    }
+
+    #[test]
+    fn alignment_enforced() {
+        let mut aspace = AddressSpace::new();
+        assert_eq!(
+            aspace.map(Mapping {
+                vaddr: 100,
+                pages: 1,
+                writable: true,
+                executable: false,
+                region: Region::Data,
+            }),
+            Err(MemError::BadAlignment)
+        );
+        assert_eq!(aspace.map(data(0, 0)), Err(MemError::BadAlignment));
+    }
+
+    #[test]
+    fn lookup_finds_covering_mapping() {
+        let mut aspace = AddressSpace::new();
+        aspace.map(data(PAGE, 2)).unwrap();
+        assert!(aspace.lookup(PAGE + 100).is_some());
+        assert!(aspace.lookup(3 * PAGE).is_none());
+        assert!(aspace.lookup(0).is_none());
+    }
+
+    #[test]
+    fn double_seal_rejected() {
+        let mut aspace = AddressSpace::new();
+        aspace.seal().unwrap();
+        assert_eq!(aspace.seal(), Err(MemError::AlreadySealed));
+    }
+
+    proptest! {
+        /// Sealing is an invariant: after a successful seal, no sequence of
+        /// map/protect/unmap calls can ever produce a writable+executable
+        /// page.
+        #[test]
+        fn prop_sealed_space_preserves_wx(
+            ops in proptest::collection::vec((0u8..3, 0u64..64, any::<bool>(), any::<bool>()), 0..64)
+        ) {
+            let mut aspace = AddressSpace::new();
+            aspace.map(text(0, 4)).unwrap();
+            aspace.map(data(8 * PAGE, 8)).unwrap();
+            aspace.seal().unwrap();
+            for (op, page, w, x) in ops {
+                let addr = page * PAGE;
+                let _ = match op {
+                    0 => aspace.map(Mapping { vaddr: addr, pages: 1, writable: w, executable: x, region: Region::Io }).map(|_| ()),
+                    1 => aspace.protect(addr, w, x),
+                    _ => aspace.unmap(addr).map(|_| ()),
+                };
+                prop_assert!(aspace.satisfies_wx());
+            }
+        }
+
+        /// Before sealing, accepted mappings never overlap.
+        #[test]
+        fn prop_no_overlapping_mappings(
+            ops in proptest::collection::vec((0u64..32, 1u64..8), 0..32)
+        ) {
+            let mut aspace = AddressSpace::new();
+            for (page, len) in ops {
+                let _ = aspace.map(data(page * PAGE, len));
+            }
+            let maps = aspace.mappings();
+            for (i, a) in maps.iter().enumerate() {
+                for b in &maps[i + 1..] {
+                    prop_assert!(!a.overlaps(b));
+                }
+            }
+        }
+    }
+}

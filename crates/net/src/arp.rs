@@ -1,0 +1,272 @@
+//! ARP — address resolution with a pending-queue cache (paper Table 1).
+
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+use mirage_hypervisor::{Dur, Time};
+
+use crate::addr::Mac;
+
+/// ARP operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArpOp {
+    /// Who-has.
+    Request,
+    /// Is-at.
+    Reply,
+}
+
+/// A parsed ARP packet (IPv4-over-Ethernet flavour only).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ArpPacket {
+    /// Operation.
+    pub op: ArpOp,
+    /// Sender hardware address.
+    pub sha: Mac,
+    /// Sender protocol address.
+    pub spa: Ipv4Addr,
+    /// Target hardware address.
+    pub tha: Mac,
+    /// Target protocol address.
+    pub tpa: Ipv4Addr,
+}
+
+/// Packet length on the wire.
+pub const ARP_LEN: usize = 28;
+
+impl ArpPacket {
+    /// Parses from an Ethernet payload.
+    pub fn parse(data: &[u8]) -> Option<ArpPacket> {
+        if data.len() < ARP_LEN {
+            return None;
+        }
+        // htype=1 (Ethernet), ptype=0x0800, hlen=6, plen=4.
+        if data[0..2] != [0, 1] || data[2..4] != [0x08, 0x00] || data[4] != 6 || data[5] != 4 {
+            return None;
+        }
+        let op = match u16::from_be_bytes([data[6], data[7]]) {
+            1 => ArpOp::Request,
+            2 => ArpOp::Reply,
+            _ => return None,
+        };
+        Some(ArpPacket {
+            op,
+            sha: Mac(data[8..14].try_into().ok()?),
+            spa: Ipv4Addr::new(data[14], data[15], data[16], data[17]),
+            tha: Mac(data[18..24].try_into().ok()?),
+            tpa: Ipv4Addr::new(data[24], data[25], data[26], data[27]),
+        })
+    }
+
+    /// Serialises to an Ethernet payload.
+    pub fn build(&self) -> Vec<u8> {
+        let mut p = Vec::with_capacity(ARP_LEN);
+        p.extend_from_slice(&[0, 1, 0x08, 0x00, 6, 4]);
+        p.extend_from_slice(
+            &match self.op {
+                ArpOp::Request => 1u16,
+                ArpOp::Reply => 2u16,
+            }
+            .to_be_bytes(),
+        );
+        p.extend_from_slice(self.sha.as_bytes());
+        p.extend_from_slice(&self.spa.octets());
+        p.extend_from_slice(self.tha.as_bytes());
+        p.extend_from_slice(&self.tpa.octets());
+        p
+    }
+}
+
+/// How long a learned entry stays valid.
+pub const ENTRY_TTL: Dur = Dur::secs(300);
+/// Retransmit interval for unanswered requests.
+pub const REQUEST_RETRY: Dur = Dur::secs(1);
+/// Attempts before giving up and dropping queued packets.
+pub const MAX_RETRIES: u32 = 3;
+
+struct Pending {
+    queued: Vec<Vec<u8>>, // IPv4 packets awaiting resolution
+    retries: u32,
+    next_retry: Time,
+}
+
+/// The ARP cache: resolved entries plus per-address pending queues.
+#[derive(Default)]
+pub struct ArpCache {
+    entries: HashMap<Ipv4Addr, (Mac, Time)>, // mac, expiry
+    pending: HashMap<Ipv4Addr, Pending>,
+}
+
+/// What the caller must do after a cache operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArpAction {
+    /// Resolved: transmit the returned packet to this MAC now.
+    Send(Mac, Vec<u8>),
+    /// Packet queued; broadcast a who-has for this IP.
+    RequestAndQueue(Ipv4Addr),
+    /// Packet queued behind an outstanding request; nothing to send.
+    Queued,
+}
+
+impl ArpCache {
+    /// An empty cache.
+    pub fn new() -> ArpCache {
+        ArpCache::default()
+    }
+
+    /// Looks up `ip` for transmitting `packet`; either resolves immediately
+    /// or queues the packet pending resolution.
+    pub fn lookup_or_queue(&mut self, ip: Ipv4Addr, packet: Vec<u8>, now: Time) -> ArpAction {
+        if let Some((mac, expiry)) = self.entries.get(&ip) {
+            if *expiry > now {
+                return ArpAction::Send(*mac, packet);
+            }
+            self.entries.remove(&ip);
+        }
+        match self.pending.get_mut(&ip) {
+            Some(p) => {
+                p.queued.push(packet);
+                ArpAction::Queued
+            }
+            None => {
+                self.pending.insert(
+                    ip,
+                    Pending {
+                        queued: vec![packet],
+                        retries: 0,
+                        next_retry: now + REQUEST_RETRY,
+                    },
+                );
+                ArpAction::RequestAndQueue(ip)
+            }
+        }
+    }
+
+    /// Learns a mapping (from any ARP packet — gratuitous included) and
+    /// returns any packets that were queued on it.
+    pub fn learn(&mut self, ip: Ipv4Addr, mac: Mac, now: Time) -> Vec<Vec<u8>> {
+        self.entries.insert(ip, (mac, now + ENTRY_TTL));
+        self.pending
+            .remove(&ip)
+            .map(|p| p.queued)
+            .unwrap_or_default()
+    }
+
+    /// Direct lookup without queuing.
+    pub fn get(&self, ip: Ipv4Addr, now: Time) -> Option<Mac> {
+        self.entries
+            .get(&ip)
+            .filter(|(_, expiry)| *expiry > now)
+            .map(|(mac, _)| *mac)
+    }
+
+    /// Advances retry timers; returns IPs to re-request and drops queues
+    /// that exhausted their retries.
+    pub fn poll(&mut self, now: Time) -> Vec<Ipv4Addr> {
+        let mut resend = Vec::new();
+        let mut dead = Vec::new();
+        for (ip, p) in self.pending.iter_mut() {
+            if p.next_retry <= now {
+                p.retries += 1;
+                if p.retries >= MAX_RETRIES {
+                    dead.push(*ip);
+                } else {
+                    p.next_retry = now + REQUEST_RETRY;
+                    resend.push(*ip);
+                }
+            }
+        }
+        for ip in dead {
+            self.pending.remove(&ip);
+        }
+        resend
+    }
+
+    /// The earliest pending retry deadline.
+    pub fn next_deadline(&self) -> Option<Time> {
+        self.pending.values().map(|p| p.next_retry).min()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const IP1: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 1);
+    const IP2: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 2);
+
+    #[test]
+    fn packet_round_trip() {
+        let pkt = ArpPacket {
+            op: ArpOp::Request,
+            sha: Mac::local(1),
+            spa: IP1,
+            tha: Mac::ZERO,
+            tpa: IP2,
+        };
+        let wire = pkt.build();
+        assert_eq!(wire.len(), ARP_LEN);
+        assert_eq!(ArpPacket::parse(&wire), Some(pkt));
+    }
+
+    #[test]
+    fn malformed_packets_rejected() {
+        let mut wire = ArpPacket {
+            op: ArpOp::Reply,
+            sha: Mac::local(1),
+            spa: IP1,
+            tha: Mac::local(2),
+            tpa: IP2,
+        }
+        .build();
+        wire[4] = 8; // wrong hlen
+        assert_eq!(ArpPacket::parse(&wire), None);
+        assert_eq!(ArpPacket::parse(&[0u8; 10]), None);
+    }
+
+    #[test]
+    fn cache_resolves_and_flushes_queue() {
+        let mut cache = ArpCache::new();
+        let now = Time::ZERO;
+        assert_eq!(
+            cache.lookup_or_queue(IP1, b"pkt1".to_vec(), now),
+            ArpAction::RequestAndQueue(IP1)
+        );
+        assert_eq!(
+            cache.lookup_or_queue(IP1, b"pkt2".to_vec(), now),
+            ArpAction::Queued,
+            "second packet does not re-request"
+        );
+        let flushed = cache.learn(IP1, Mac::local(9), now);
+        assert_eq!(flushed, vec![b"pkt1".to_vec(), b"pkt2".to_vec()]);
+        assert_eq!(
+            cache.lookup_or_queue(IP1, b"pkt3".to_vec(), now),
+            ArpAction::Send(Mac::local(9), b"pkt3".to_vec())
+        );
+    }
+
+    #[test]
+    fn entries_expire() {
+        let mut cache = ArpCache::new();
+        cache.learn(IP1, Mac::local(9), Time::ZERO);
+        let later = Time::ZERO + ENTRY_TTL + Dur::secs(1);
+        assert_eq!(cache.get(IP1, later), None);
+        assert!(matches!(
+            cache.lookup_or_queue(IP1, b"p".to_vec(), later),
+            ArpAction::RequestAndQueue(_)
+        ));
+    }
+
+    #[test]
+    fn retries_then_gives_up() {
+        let mut cache = ArpCache::new();
+        cache.lookup_or_queue(IP1, b"p".to_vec(), Time::ZERO);
+        let t1 = Time::ZERO + REQUEST_RETRY + Dur::millis(1);
+        assert_eq!(cache.poll(t1), vec![IP1], "first retry");
+        let t2 = t1 + REQUEST_RETRY + Dur::millis(1);
+        assert_eq!(cache.poll(t2), vec![IP1], "second retry");
+        let t3 = t2 + REQUEST_RETRY + Dur::millis(1);
+        assert!(cache.poll(t3).is_empty(), "gave up");
+        assert_eq!(cache.next_deadline(), None);
+    }
+}

@@ -1,0 +1,1003 @@
+//! The asynchronous network interface — Mirage's `Net.Manager` analogue.
+//!
+//! One lightweight thread per interface owns every protocol state machine
+//! (ARP, ICMP, UDP demux, all TCP connections, the DHCP client) and
+//! multiplexes three inputs: frames from [`NetHandle`], commands from
+//! socket handles, and virtual-time timers. "Chained iterators route
+//! traffic directly to the relevant application thread, blocking on
+//! intermediate system events if necessary" (paper §3.5).
+
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use mirage_devices::netfront::NetHandle;
+use mirage_hypervisor::{Dur, Time};
+use mirage_runtime::channel::{self, Notify, Receiver, Sender};
+use mirage_runtime::select::{select3, Either3};
+use mirage_runtime::Runtime;
+
+use crate::addr::{in_subnet, Mac};
+use crate::arp::{ArpAction, ArpCache, ArpOp, ArpPacket};
+use crate::dhcp;
+use crate::ethernet::{self, EtherType, Frame};
+use crate::icmp::Echo;
+use crate::ipv4::{self, protocol, Ipv4Packet};
+use crate::tcp::{self, Connection, Event, SegmentOut, TcpConfig, TcpSegment};
+use crate::udp::{self, UdpDatagram};
+
+/// Interface configuration.
+#[derive(Debug, Clone)]
+pub struct StackConfig {
+    /// Static address, or `None` to run the DHCP client (§2.3.1).
+    pub ip: Option<Ipv4Addr>,
+    /// Subnet mask (replaced by the DHCP lease when dynamic).
+    pub netmask: Ipv4Addr,
+    /// Default gateway.
+    pub gateway: Option<Ipv4Addr>,
+    /// TCP tuning.
+    pub tcp: TcpConfig,
+}
+
+impl StackConfig {
+    /// A statically addressed /24 interface.
+    pub fn static_ip(ip: Ipv4Addr) -> StackConfig {
+        StackConfig {
+            ip: Some(ip),
+            netmask: Ipv4Addr::new(255, 255, 255, 0),
+            gateway: None,
+            tcp: TcpConfig::default(),
+        }
+    }
+
+    /// A DHCP-configured interface.
+    pub fn dhcp() -> StackConfig {
+        StackConfig {
+            ip: None,
+            netmask: Ipv4Addr::new(255, 255, 255, 0),
+            gateway: None,
+            tcp: TcpConfig::default(),
+        }
+    }
+}
+
+/// Errors surfaced to socket users.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NetError {
+    /// The connection attempt was refused or reset.
+    Refused,
+    /// The connection attempt timed out.
+    TimedOut,
+    /// The port is already bound.
+    PortInUse,
+    /// The stack task has shut down.
+    StackGone,
+}
+
+impl std::fmt::Display for NetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let msg = match self {
+            NetError::Refused => "connection refused",
+            NetError::TimedOut => "connection timed out",
+            NetError::PortInUse => "port already in use",
+            NetError::StackGone => "network stack has shut down",
+        };
+        f.write_str(msg)
+    }
+}
+
+impl std::error::Error for NetError {}
+
+enum StreamEvent {
+    Data(Vec<u8>),
+    Eof,
+    Closed,
+}
+
+/// Datagram delivered to a bound UDP socket: (source ip, source port, payload).
+type UdpDelivery = (Ipv4Addr, u16, Vec<u8>);
+
+enum Cmd {
+    UdpBind {
+        port: u16,
+        reply: Sender<Result<Receiver<UdpDelivery>, NetError>>,
+    },
+    UdpSend {
+        src_port: u16,
+        dst: Ipv4Addr,
+        dst_port: u16,
+        payload: Vec<u8>,
+    },
+    TcpListen {
+        port: u16,
+        reply: Sender<Result<Receiver<TcpStream>, NetError>>,
+    },
+    TcpConnect {
+        dst: Ipv4Addr,
+        dst_port: u16,
+        reply: Sender<Result<TcpStream, NetError>>,
+    },
+    TcpSend {
+        id: u64,
+        data: Vec<u8>,
+    },
+    TcpClose {
+        id: u64,
+    },
+    Ping {
+        dst: Ipv4Addr,
+        reply: Sender<Result<Dur, NetError>>,
+    },
+}
+
+/// A bound UDP socket.
+pub struct UdpSocket {
+    port: u16,
+    cmd: Sender<Cmd>,
+    rx: Receiver<UdpDelivery>,
+}
+
+impl std::fmt::Debug for UdpSocket {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "UdpSocket(:{})", self.port)
+    }
+}
+
+impl UdpSocket {
+    /// The bound local port.
+    pub fn port(&self) -> u16 {
+        self.port
+    }
+
+    /// Awaits the next datagram as `(source ip, source port, payload)`.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::StackGone`] if the stack task has exited.
+    pub async fn recv_from(&mut self) -> Result<(Ipv4Addr, u16, Vec<u8>), NetError> {
+        self.rx.recv().await.map_err(|_| NetError::StackGone)
+    }
+
+    /// Sends a datagram.
+    pub fn send_to(&self, dst: Ipv4Addr, dst_port: u16, payload: Vec<u8>) {
+        let _ = self.cmd.send(Cmd::UdpSend {
+            src_port: self.port,
+            dst,
+            dst_port,
+            payload,
+        });
+    }
+}
+
+/// A listening TCP socket.
+pub struct TcpListener {
+    port: u16,
+    rx: Receiver<TcpStream>,
+}
+
+impl std::fmt::Debug for TcpListener {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "TcpListener(:{})", self.port)
+    }
+}
+
+impl TcpListener {
+    /// The listening port.
+    pub fn port(&self) -> u16 {
+        self.port
+    }
+
+    /// Awaits the next established connection.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::StackGone`] if the stack task has exited.
+    pub async fn accept(&mut self) -> Result<TcpStream, NetError> {
+        self.rx.recv().await.map_err(|_| NetError::StackGone)
+    }
+}
+
+/// An established TCP connection.
+pub struct TcpStream {
+    id: u64,
+    /// Peer address.
+    pub peer: (Ipv4Addr, u16),
+    cmd: Sender<Cmd>,
+    events: Receiver<StreamEvent>,
+    buffered: Vec<u8>,
+    eof: bool,
+}
+
+impl std::fmt::Debug for TcpStream {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "TcpStream(#{} -> {}:{})", self.id, self.peer.0, self.peer.1)
+    }
+}
+
+impl TcpStream {
+    /// Queues bytes for transmission (buffered; the stack applies TCP flow
+    /// and congestion control on the wire).
+    pub fn write(&self, data: &[u8]) {
+        let _ = self.cmd.send(Cmd::TcpSend {
+            id: self.id,
+            data: data.to_vec(),
+        });
+    }
+
+    /// Awaits the next chunk of received data; `None` at end-of-stream.
+    pub async fn read(&mut self) -> Option<Vec<u8>> {
+        if !self.buffered.is_empty() {
+            return Some(std::mem::take(&mut self.buffered));
+        }
+        if self.eof {
+            return None;
+        }
+        match self.events.recv().await {
+            Ok(StreamEvent::Data(d)) => Some(d),
+            Ok(StreamEvent::Eof) | Ok(StreamEvent::Closed) | Err(_) => {
+                self.eof = true;
+                None
+            }
+        }
+    }
+
+    /// Reads exactly `n` bytes (buffering any excess), or `None` if the
+    /// stream ends first.
+    pub async fn read_exact(&mut self, n: usize) -> Option<Vec<u8>> {
+        let mut acc = std::mem::take(&mut self.buffered);
+        while acc.len() < n {
+            match self.read().await {
+                Some(chunk) => acc.extend(chunk),
+                None => {
+                    self.buffered = acc;
+                    return None;
+                }
+            }
+        }
+        let rest = acc.split_off(n);
+        self.buffered = rest;
+        Some(acc)
+    }
+
+    /// Reads until end-of-stream.
+    pub async fn read_to_end(&mut self) -> Vec<u8> {
+        let mut acc = Vec::new();
+        while let Some(chunk) = self.read().await {
+            acc.extend(chunk);
+        }
+        acc
+    }
+
+    /// Initiates a graceful close (FIN after queued data).
+    pub fn close(&self) {
+        let _ = self.cmd.send(Cmd::TcpClose { id: self.id });
+    }
+
+    /// Awaits full connection teardown (our FIN acknowledged and the state
+    /// machine torn down). Servers call this before shutting the VM down so
+    /// queued data is flushed — exiting a unikernel kills its connections,
+    /// exactly as on real Xen.
+    pub async fn wait_closed(&mut self) {
+        loop {
+            match self.events.recv().await {
+                Ok(StreamEvent::Data(d)) => {
+                    // Late data still counts as readable.
+                    self.buffered.extend(d);
+                }
+                Ok(StreamEvent::Eof) => {
+                    self.eof = true;
+                }
+                Ok(StreamEvent::Closed) | Err(_) => {
+                    self.eof = true;
+                    return;
+                }
+            }
+        }
+    }
+}
+
+impl Drop for TcpStream {
+    fn drop(&mut self) {
+        self.close();
+    }
+}
+
+struct ConnEntry {
+    conn: Connection,
+    peer: (Ipv4Addr, u16),
+    local_port: u16,
+    events_tx: Sender<StreamEvent>,
+    /// Receiver half parked here until the connection establishes.
+    events_rx: Option<Receiver<StreamEvent>>,
+    connect_reply: Option<Sender<Result<TcpStream, NetError>>>,
+    from_listener: Option<u16>,
+    dead: bool,
+}
+
+/// Handle to a running network stack.
+#[derive(Clone)]
+pub struct Stack {
+    cmd: Sender<Cmd>,
+    ip: Arc<Mutex<Option<Ipv4Addr>>>,
+    ready: Notify,
+}
+
+impl std::fmt::Debug for Stack {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Stack({:?})", *self.ip.lock())
+    }
+}
+
+impl Stack {
+    /// Spawns the interface thread over `nh` and returns the handle.
+    pub fn spawn(rt: &Runtime, nh: NetHandle, cfg: StackConfig) -> Stack {
+        let (cmd_tx, cmd_rx) = channel::channel();
+        let ip = Arc::new(Mutex::new(cfg.ip));
+        let ready = Notify::new();
+        let stack = Stack {
+            cmd: cmd_tx.clone(),
+            ip: Arc::clone(&ip),
+            ready: ready.clone(),
+        };
+        if cfg.ip.is_some() {
+            ready.notify_all();
+        }
+        let rt2 = rt.clone();
+        let cmd_tx2 = cmd_tx.clone();
+        rt.spawn(async move {
+            let mut inner = Inner::new(rt2.clone(), nh, cfg, ip, ready);
+            inner.run(cmd_tx2, cmd_rx).await;
+        });
+        stack
+    }
+
+    /// The interface address, if configured/leased.
+    pub fn local_ip(&self) -> Option<Ipv4Addr> {
+        *self.ip.lock()
+    }
+
+    /// Awaits interface readiness (immediate for static config, lease
+    /// acquisition for DHCP) and returns the address.
+    pub async fn wait_ready(&self) -> Ipv4Addr {
+        loop {
+            if let Some(ip) = self.local_ip() {
+                return ip;
+            }
+            self.ready.notified().await;
+        }
+    }
+
+    /// Binds a UDP port.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::PortInUse`] or [`NetError::StackGone`].
+    pub async fn udp_bind(&self, port: u16) -> Result<UdpSocket, NetError> {
+        let (tx, mut rx) = channel::channel();
+        self.cmd
+            .send(Cmd::UdpBind { port, reply: tx })
+            .map_err(|_| NetError::StackGone)?;
+        let sock_rx = rx.recv().await.map_err(|_| NetError::StackGone)??;
+        Ok(UdpSocket {
+            port,
+            cmd: self.cmd.clone(),
+            rx: sock_rx,
+        })
+    }
+
+    /// Listens for TCP connections on `port`.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::PortInUse`] or [`NetError::StackGone`].
+    pub async fn tcp_listen(&self, port: u16) -> Result<TcpListener, NetError> {
+        let (tx, mut rx) = channel::channel();
+        self.cmd
+            .send(Cmd::TcpListen { port, reply: tx })
+            .map_err(|_| NetError::StackGone)?;
+        let accept_rx = rx.recv().await.map_err(|_| NetError::StackGone)??;
+        Ok(TcpListener {
+            port,
+            rx: accept_rx,
+        })
+    }
+
+    /// Opens a TCP connection to `dst:dst_port`.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Refused`], [`NetError::TimedOut`] or
+    /// [`NetError::StackGone`].
+    pub async fn tcp_connect(&self, dst: Ipv4Addr, dst_port: u16) -> Result<TcpStream, NetError> {
+        let (tx, mut rx) = channel::channel();
+        self.cmd
+            .send(Cmd::TcpConnect {
+                dst,
+                dst_port,
+                reply: tx,
+            })
+            .map_err(|_| NetError::StackGone)?;
+        rx.recv().await.map_err(|_| NetError::StackGone)?
+    }
+
+    /// ICMP echo round-trip to `dst`.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::TimedOut`] (no reply within the ping timeout) or
+    /// [`NetError::StackGone`].
+    pub async fn ping(&self, dst: Ipv4Addr) -> Result<Dur, NetError> {
+        let (tx, mut rx) = channel::channel();
+        self.cmd
+            .send(Cmd::Ping { dst, reply: tx })
+            .map_err(|_| NetError::StackGone)?;
+        rx.recv().await.map_err(|_| NetError::StackGone)?
+    }
+}
+
+struct PendingPing {
+    reply: Sender<Result<Dur, NetError>>,
+    sent_at: Time,
+    deadline: Time,
+    dst: Ipv4Addr,
+}
+
+struct Inner {
+    rt: Runtime,
+    nh: NetHandle,
+    mac: Mac,
+    cfg: StackConfig,
+    ip_cell: Arc<Mutex<Option<Ipv4Addr>>>,
+    ready: Notify,
+    netmask: Ipv4Addr,
+    gateway: Option<Ipv4Addr>,
+    arp: ArpCache,
+    conns: HashMap<u64, ConnEntry>,
+    quads: HashMap<(Ipv4Addr, u16, u16), u64>,
+    listeners: HashMap<u16, Sender<TcpStream>>,
+    udp_socks: HashMap<u16, Sender<UdpDelivery>>,
+    pings: HashMap<u16, PendingPing>,
+    dhcp: Option<dhcp::Client>,
+    next_conn: u64,
+    next_port: u16,
+    ident: u16,
+    iss: u32,
+    ping_seq: u16,
+    cmd_tx_for_streams: Option<Sender<Cmd>>,
+}
+
+const PING_TIMEOUT: Dur = Dur::secs(5);
+
+impl Inner {
+    fn new(
+        rt: Runtime,
+        nh: NetHandle,
+        cfg: StackConfig,
+        ip_cell: Arc<Mutex<Option<Ipv4Addr>>>,
+        ready: Notify,
+    ) -> Inner {
+        let mac = Mac(nh.mac);
+        Inner {
+            rt,
+            mac,
+            netmask: cfg.netmask,
+            gateway: cfg.gateway,
+            cfg,
+            nh,
+            ip_cell,
+            ready,
+            arp: ArpCache::new(),
+            conns: HashMap::new(),
+            quads: HashMap::new(),
+            listeners: HashMap::new(),
+            udp_socks: HashMap::new(),
+            pings: HashMap::new(),
+            dhcp: None,
+            next_conn: 1,
+            next_port: 49152,
+            ident: 1,
+            iss: 10_000,
+            ping_seq: 1,
+            cmd_tx_for_streams: None,
+        }
+    }
+
+    fn ip(&self) -> Ipv4Addr {
+        self.ip_cell.lock().unwrap_or(Ipv4Addr::UNSPECIFIED)
+    }
+
+    async fn run(&mut self, cmd_tx: Sender<Cmd>, mut cmd_rx: Receiver<Cmd>) {
+        self.cmd_tx_for_streams = Some(cmd_tx);
+        // Kick off DHCP if no static address.
+        if self.ip_cell.lock().is_none() {
+            let now = self.rt.now();
+            let (client, discover) = dhcp::Client::start(self.mac, 0x4D495241, now);
+            self.dhcp = Some(client);
+            self.broadcast_udp(68, 67, discover);
+        }
+        loop {
+            let deadline = self.next_deadline().unwrap_or(Time::MAX);
+            // The Sleep owns its own core handle, so creating it first
+            // leaves `self` free for the frame-receive borrow.
+            let sleep = self.rt.sleep_until(deadline);
+            let event = {
+                let nh = &mut self.nh;
+                select3(nh.rx.recv(), cmd_rx.recv(), sleep).await
+            };
+            match event {
+                Either3::First(Ok(frame)) => self.on_frame(&frame),
+                Either3::First(Err(_)) => break, // device gone
+                Either3::Second(Ok(cmd)) => self.on_cmd(cmd),
+                Either3::Second(Err(_)) => break, // all handles dropped
+                Either3::Third(()) => {}
+            }
+            self.on_timers();
+        }
+    }
+
+    fn next_deadline(&self) -> Option<Time> {
+        let mut d: Option<Time> = None;
+        let mut fold = |t: Option<Time>| {
+            if let Some(t) = t {
+                d = Some(match d {
+                    Some(cur) => cur.min(t),
+                    None => t,
+                });
+            }
+        };
+        for entry in self.conns.values() {
+            fold(entry.conn.next_deadline());
+        }
+        fold(self.arp.next_deadline());
+        if let Some(c) = &self.dhcp {
+            fold(c.next_deadline());
+        }
+        fold(self.pings.values().map(|p| p.deadline).min());
+        d
+    }
+
+    // --- transmit helpers --------------------------------------------------
+
+    fn emit_frame(&mut self, dst: Mac, ethertype: EtherType, payload: &[u8]) {
+        let frame = ethernet::build(dst, self.mac, ethertype, payload);
+        self.rt.charge(self.rt.costs().copy(frame.len()));
+        let _ = self.nh.tx.send(frame);
+    }
+
+    fn send_ipv4(&mut self, dst: Ipv4Addr, proto: u8, payload: &[u8]) {
+        let ident = self.ident;
+        self.ident = self.ident.wrapping_add(1);
+        let packet = ipv4::build(self.ip(), dst, proto, ident, payload);
+        if dst == Ipv4Addr::BROADCAST || dst.is_broadcast() {
+            self.emit_frame(Mac::BROADCAST, EtherType::Ipv4, &packet);
+            return;
+        }
+        // Route: on-link or via gateway.
+        let next_hop = match self.gateway {
+            Some(gw) if !in_subnet(dst, self.ip(), self.netmask) => gw,
+            _ => dst,
+        };
+        let now = self.rt.now();
+        match self.arp.lookup_or_queue(next_hop, packet, now) {
+            ArpAction::Send(mac, packet) => {
+                self.emit_frame(mac, EtherType::Ipv4, &packet);
+            }
+            ArpAction::RequestAndQueue(ip) => self.send_arp_request(ip),
+            ArpAction::Queued => {}
+        }
+    }
+
+    fn send_arp_request(&mut self, tpa: Ipv4Addr) {
+        let pkt = ArpPacket {
+            op: ArpOp::Request,
+            sha: self.mac,
+            spa: self.ip(),
+            tha: Mac::ZERO,
+            tpa,
+        }
+        .build();
+        self.emit_frame(Mac::BROADCAST, EtherType::Arp, &pkt);
+    }
+
+    fn broadcast_udp(&mut self, src_port: u16, dst_port: u16, payload: Vec<u8>) {
+        let seg = udp::build(self.ip(), src_port, Ipv4Addr::BROADCAST, dst_port, &payload);
+        let ident = self.ident;
+        self.ident = self.ident.wrapping_add(1);
+        let packet = ipv4::build(self.ip(), Ipv4Addr::BROADCAST, protocol::UDP, ident, &seg);
+        self.emit_frame(Mac::BROADCAST, EtherType::Ipv4, &packet);
+    }
+
+    fn emit_tcp(&mut self, local_port: u16, peer: (Ipv4Addr, u16), seg: &SegmentOut) {
+        let wire = tcp::build_segment(self.ip(), local_port, peer.0, peer.1, seg);
+        self.send_ipv4(peer.0, protocol::TCP, &wire);
+    }
+
+    // --- inbound -----------------------------------------------------------
+
+    fn on_frame(&mut self, frame: &[u8]) {
+        self.rt.charge(self.rt.costs().copy(frame.len().min(128)));
+        let Some(eth) = Frame::parse(frame) else {
+            return;
+        };
+        if eth.dst != self.mac && !eth.dst.is_broadcast() {
+            return;
+        }
+        match eth.ethertype {
+            EtherType::Arp => self.on_arp(eth.payload),
+            EtherType::Ipv4 => self.on_ipv4(eth.payload),
+            EtherType::Other(_) => {}
+        }
+    }
+
+    fn on_arp(&mut self, payload: &[u8]) {
+        let Some(pkt) = ArpPacket::parse(payload) else {
+            return;
+        };
+        let now = self.rt.now();
+        // Learn the sender and flush anything queued on it.
+        let flushed = self.arp.learn(pkt.spa, pkt.sha, now);
+        for queued in flushed {
+            self.emit_frame(pkt.sha, EtherType::Ipv4, &queued);
+        }
+        if pkt.op == ArpOp::Request && pkt.tpa == self.ip() && !self.ip().is_unspecified() {
+            let reply = ArpPacket {
+                op: ArpOp::Reply,
+                sha: self.mac,
+                spa: self.ip(),
+                tha: pkt.sha,
+                tpa: pkt.spa,
+            }
+            .build();
+            self.emit_frame(pkt.sha, EtherType::Arp, &reply);
+        }
+    }
+
+    fn on_ipv4(&mut self, payload: &[u8]) {
+        let Ok(pkt) = Ipv4Packet::parse(payload) else {
+            return;
+        };
+        let for_us =
+            pkt.dst == self.ip() || pkt.dst == Ipv4Addr::BROADCAST || self.ip().is_unspecified();
+        if !for_us {
+            return;
+        }
+        match pkt.protocol {
+            protocol::ICMP => self.on_icmp(&pkt),
+            protocol::UDP => self.on_udp(&pkt),
+            protocol::TCP => self.on_tcp(&pkt),
+            _ => {}
+        }
+    }
+
+    fn on_icmp(&mut self, pkt: &Ipv4Packet<'_>) {
+        let Some(echo) = Echo::parse(pkt.payload) else {
+            return;
+        };
+        if echo.is_request {
+            let reply = echo.reply().build();
+            let src = pkt.src;
+            self.send_ipv4(src, protocol::ICMP, &reply);
+        } else if let Some(pending) = self.pings.remove(&echo.seq) {
+            let now = self.rt.now();
+            let _ = pending
+                .reply
+                .send(Ok(now.saturating_since(pending.sent_at)));
+        }
+    }
+
+    fn on_udp(&mut self, pkt: &Ipv4Packet<'_>) {
+        let Some(dgram) = UdpDatagram::parse(pkt.src, pkt.dst, pkt.payload) else {
+            return;
+        };
+        // DHCP client traffic (port 68) is handled by the stack itself.
+        if dgram.dst_port == 68 {
+            if let Some(client) = self.dhcp.as_mut() {
+                let now = self.rt.now();
+                let response = client.on_message(dgram.payload, now);
+                if let Some(lease) = client.lease() {
+                    *self.ip_cell.lock() = Some(lease.ip);
+                    self.netmask = lease.netmask;
+                    self.gateway = lease.gateway;
+                    self.dhcp = None;
+                    self.ready.notify_all();
+                } else if let Some(out) = response {
+                    self.broadcast_udp(68, 67, out);
+                }
+            }
+            return;
+        }
+        if let Some(sock) = self.udp_socks.get(&dgram.dst_port) {
+            let _ = sock.send((pkt.src, dgram.src_port, dgram.payload.to_vec()));
+        }
+    }
+
+    fn on_tcp(&mut self, pkt: &Ipv4Packet<'_>) {
+        let Some(seg) = TcpSegment::parse(pkt.src, pkt.dst, pkt.payload) else {
+            return;
+        };
+        let quad = (pkt.src, seg.src_port, seg.dst_port);
+        let now = self.rt.now();
+        let id = match self.quads.get(&quad) {
+            Some(id) => *id,
+            None => {
+                // New connection: must be a SYN to a listener.
+                if !seg.flags.syn || seg.flags.ack {
+                    if !seg.flags.rst {
+                        // RST the stray segment.
+                        let rst = SegmentOut {
+                            seq: seg.ack,
+                            ack: seg.seq.wrapping_add(1),
+                            flags: tcp::Flags {
+                                rst: true,
+                                ack: true,
+                                ..tcp::Flags::default()
+                            },
+                            window: 0,
+                            mss: None,
+                            wscale: None,
+                            payload: Vec::new(),
+                        };
+                        self.emit_tcp(seg.dst_port, (pkt.src, seg.src_port), &rst);
+                    }
+                    return;
+                }
+                if !self.listeners.contains_key(&seg.dst_port) {
+                    let rst = SegmentOut {
+                        seq: 0,
+                        ack: seg.seq.wrapping_add(1),
+                        flags: tcp::Flags {
+                            rst: true,
+                            ack: true,
+                            ..tcp::Flags::default()
+                        },
+                        window: 0,
+                        mss: None,
+                        wscale: None,
+                        payload: Vec::new(),
+                    };
+                    self.emit_tcp(seg.dst_port, (pkt.src, seg.src_port), &rst);
+                    return;
+                }
+                let id = self.next_conn;
+                self.next_conn += 1;
+                self.iss = self.iss.wrapping_add(64_000);
+                let conn = Connection::listen(self.cfg.tcp.clone(), self.iss);
+                let (etx, erx) = channel::channel();
+                self.conns.insert(
+                    id,
+                    ConnEntry {
+                        conn,
+                        peer: (pkt.src, seg.src_port),
+                        local_port: seg.dst_port,
+                        events_tx: etx,
+                        events_rx: Some(erx),
+                        connect_reply: None,
+                        from_listener: Some(seg.dst_port),
+                        dead: false,
+                    },
+                );
+                self.quads.insert(quad, id);
+                id
+            }
+        };
+        let output = {
+            let entry = self.conns.get_mut(&id).expect("exists");
+            entry.conn.on_segment(&seg, now)
+        };
+        self.apply_output(id, output);
+    }
+
+    fn apply_output(&mut self, id: u64, output: tcp::Output) {
+        let Some(entry) = self.conns.get_mut(&id) else {
+            return;
+        };
+        let peer = entry.peer;
+        let local_port = entry.local_port;
+        let mut to_remove = false;
+        for ev in output.events {
+            match ev {
+                Event::Connected => {
+                    let stream_cmd = self
+                        .cmd_tx_for_streams
+                        .clone()
+                        .expect("set before run loop");
+                    if let Some(rx) = entry.events_rx.take() {
+                        let stream = TcpStream {
+                            id,
+                            peer,
+                            cmd: stream_cmd,
+                            events: rx,
+                            buffered: Vec::new(),
+                            eof: false,
+                        };
+                        if let Some(reply) = entry.connect_reply.take() {
+                            let _ = reply.send(Ok(stream));
+                        } else if let Some(port) = entry.from_listener {
+                            if let Some(l) = self.listeners.get(&port) {
+                                let _ = l.send(stream);
+                            }
+                        }
+                    }
+                }
+                Event::Data(d) => {
+                    let _ = entry.events_tx.send(StreamEvent::Data(d));
+                }
+                Event::PeerFin => {
+                    let _ = entry.events_tx.send(StreamEvent::Eof);
+                }
+                Event::Reset => {
+                    if let Some(reply) = entry.connect_reply.take() {
+                        let _ = reply.send(Err(NetError::Refused));
+                    }
+                    let _ = entry.events_tx.send(StreamEvent::Closed);
+                    to_remove = true;
+                }
+                Event::Closed => {
+                    let _ = entry.events_tx.send(StreamEvent::Closed);
+                    to_remove = true;
+                }
+            }
+        }
+        if to_remove {
+            entry.dead = true;
+        }
+        for seg in output.segments {
+            self.emit_tcp(local_port, peer, &seg);
+        }
+        self.gc_conns();
+    }
+
+    fn gc_conns(&mut self) {
+        let dead: Vec<u64> = self
+            .conns
+            .iter()
+            .filter(|(_, e)| e.dead || e.conn.state() == tcp::State::Closed)
+            .map(|(id, _)| *id)
+            .collect();
+        for id in dead {
+            if let Some(e) = self.conns.remove(&id) {
+                self.quads.remove(&(e.peer.0, e.peer.1, e.local_port));
+            }
+        }
+    }
+
+    // --- commands ----------------------------------------------------------
+
+    fn on_cmd(&mut self, cmd: Cmd) {
+        let now = self.rt.now();
+        match cmd {
+            Cmd::UdpBind { port, reply } => {
+                if let std::collections::hash_map::Entry::Vacant(e) = self.udp_socks.entry(port) {
+                    let (tx, rx) = channel::channel();
+                    e.insert(tx);
+                    let _ = reply.send(Ok(rx));
+                } else {
+                    let _ = reply.send(Err(NetError::PortInUse));
+                }
+            }
+            Cmd::UdpSend {
+                src_port,
+                dst,
+                dst_port,
+                payload,
+            } => {
+                let seg = udp::build(self.ip(), src_port, dst, dst_port, &payload);
+                self.send_ipv4(dst, protocol::UDP, &seg);
+            }
+            Cmd::TcpListen { port, reply } => {
+                if let std::collections::hash_map::Entry::Vacant(e) = self.listeners.entry(port) {
+                    let (tx, rx) = channel::channel();
+                    e.insert(tx);
+                    let _ = reply.send(Ok(rx));
+                } else {
+                    let _ = reply.send(Err(NetError::PortInUse));
+                }
+            }
+            Cmd::TcpConnect {
+                dst,
+                dst_port,
+                reply,
+            } => {
+                let local_port = self.next_port;
+                self.next_port = self.next_port.wrapping_add(1).max(49152);
+                self.iss = self.iss.wrapping_add(64_000);
+                let (conn, out) = Connection::connect(self.cfg.tcp.clone(), self.iss, now);
+                let id = self.next_conn;
+                self.next_conn += 1;
+                let (etx, erx) = channel::channel();
+                self.conns.insert(
+                    id,
+                    ConnEntry {
+                        conn,
+                        peer: (dst, dst_port),
+                        local_port,
+                        events_tx: etx,
+                        events_rx: Some(erx),
+                        connect_reply: Some(reply),
+                        from_listener: None,
+                        dead: false,
+                    },
+                );
+                self.quads.insert((dst, dst_port, local_port), id);
+                self.apply_output(id, out);
+            }
+            Cmd::TcpSend { id, data } => {
+                let out = match self.conns.get_mut(&id) {
+                    Some(e) if !e.dead => e.conn.app_send(&data, now),
+                    _ => return,
+                };
+                self.apply_output(id, out);
+            }
+            Cmd::TcpClose { id } => {
+                let out = match self.conns.get_mut(&id) {
+                    Some(e) if !e.dead => e.conn.app_close(now),
+                    _ => return,
+                };
+                self.apply_output(id, out);
+            }
+            Cmd::Ping { dst, reply } => {
+                let seq = self.ping_seq;
+                self.ping_seq = self.ping_seq.wrapping_add(1);
+                let echo = Echo {
+                    is_request: true,
+                    ident: 0x4D52,
+                    seq,
+                    payload: b"mirage-rs ping",
+                }
+                .build();
+                self.pings.insert(
+                    seq,
+                    PendingPing {
+                        reply,
+                        sent_at: now,
+                        deadline: now + PING_TIMEOUT,
+                        dst,
+                    },
+                );
+                self.send_ipv4(dst, protocol::ICMP, &echo);
+            }
+        }
+    }
+
+    // --- timers ------------------------------------------------------------
+
+    fn on_timers(&mut self) {
+        let now = self.rt.now();
+        // TCP.
+        let ids: Vec<u64> = self.conns.keys().copied().collect();
+        for id in ids {
+            let out = match self.conns.get_mut(&id) {
+                Some(e) => e.conn.poll(now),
+                None => continue,
+            };
+            if !out.segments.is_empty() || !out.events.is_empty() {
+                self.apply_output(id, out);
+            }
+        }
+        // ARP retries.
+        for ip in self.arp.poll(now) {
+            self.send_arp_request(ip);
+        }
+        // DHCP retries.
+        if let Some(client) = self.dhcp.as_mut() {
+            if let Some(msg) = client.poll(now) {
+                self.broadcast_udp(68, 67, msg);
+            }
+        }
+        // Ping timeouts.
+        let expired: Vec<u16> = self
+            .pings
+            .iter()
+            .filter(|(_, p)| p.deadline <= now)
+            .map(|(s, _)| *s)
+            .collect();
+        for seq in expired {
+            if let Some(p) = self.pings.remove(&seq) {
+                let _ = p.reply.send(Err(NetError::TimedOut));
+                let _ = p.dst;
+            }
+        }
+    }
+}

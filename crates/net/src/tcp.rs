@@ -1,0 +1,1479 @@
+//! TCP — a clean-room, sans-io state machine (paper §3.5, §4.1.3).
+//!
+//! "We compared the performance of Mirage's TCPv4 stack, implementing the
+//! full connection lifecycle, fast retransmit and recovery, New Reno
+//! congestion control, and window scaling, against the Linux 3.7 TCPv4
+//! stack." This module implements exactly that feature list:
+//!
+//! * the full RFC 793 connection lifecycle (both open flavours, both close
+//!   flavours, TIME-WAIT);
+//! * retransmission with RFC 6298 RTO estimation, Karn's rule and
+//!   exponential backoff;
+//! * fast retransmit on three duplicate ACKs with **New Reno** partial-ACK
+//!   recovery (RFC 6582);
+//! * slow start / congestion avoidance (RFC 5681);
+//! * the window-scale option (RFC 7323 §2).
+//!
+//! [`Connection`] is pure state: inputs are parsed segments and clock
+//! readings, outputs are [`SegmentOut`]s to emit and [`Event`]s for the
+//! application. The async socket layer in [`crate::stack`] drives it.
+//!
+//! Simplifications (documented, deliberate): the send buffer is unbounded
+//! (the socket layer applies its own backpressure), the advertised receive
+//! window is fixed rather than tracking application reads, and ACKs are
+//! immediate (no delayed-ACK timer).
+
+use std::collections::BTreeMap;
+
+use mirage_hypervisor::{Dur, Time};
+
+use crate::checksum;
+use crate::ipv4::protocol;
+
+/// Sequence-number arithmetic (RFC 793 §3.3: all comparisons are mod 2^32).
+pub mod seq {
+    /// `a < b` in sequence space.
+    pub fn lt(a: u32, b: u32) -> bool {
+        (a.wrapping_sub(b) as i32) < 0
+    }
+
+    /// `a <= b` in sequence space.
+    pub fn le(a: u32, b: u32) -> bool {
+        a == b || lt(a, b)
+    }
+
+    /// `a > b` in sequence space.
+    pub fn gt(a: u32, b: u32) -> bool {
+        lt(b, a)
+    }
+
+    /// `a >= b` in sequence space.
+    pub fn ge(a: u32, b: u32) -> bool {
+        le(b, a)
+    }
+}
+
+/// TCP header flags.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Flags {
+    /// SYN.
+    pub syn: bool,
+    /// ACK.
+    pub ack: bool,
+    /// FIN.
+    pub fin: bool,
+    /// RST.
+    pub rst: bool,
+    /// PSH.
+    pub psh: bool,
+}
+
+impl Flags {
+    /// Just ACK.
+    pub const ACK: Flags = Flags {
+        syn: false,
+        ack: true,
+        fin: false,
+        rst: false,
+        psh: false,
+    };
+}
+
+/// A parsed TCP segment (borrowing the payload).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TcpSegment<'a> {
+    /// Source port.
+    pub src_port: u16,
+    /// Destination port.
+    pub dst_port: u16,
+    /// Sequence number.
+    pub seq: u32,
+    /// Acknowledgement number (valid when `flags.ack`).
+    pub ack: u32,
+    /// Header flags.
+    pub flags: Flags,
+    /// Raw (unscaled) window field.
+    pub window: u16,
+    /// MSS option, if present.
+    pub mss: Option<u16>,
+    /// Window-scale option, if present.
+    pub wscale: Option<u8>,
+    /// Payload.
+    pub payload: &'a [u8],
+}
+
+impl<'a> TcpSegment<'a> {
+    /// Parses and checksum-verifies a segment from an IPv4 payload.
+    pub fn parse(
+        src: std::net::Ipv4Addr,
+        dst: std::net::Ipv4Addr,
+        data: &'a [u8],
+    ) -> Option<TcpSegment<'a>> {
+        if data.len() < 20 {
+            return None;
+        }
+        if !checksum::verify_pseudo(src, dst, protocol::TCP, data) {
+            return None;
+        }
+        let data_off = (data[12] >> 4) as usize * 4;
+        if data_off < 20 || data.len() < data_off {
+            return None;
+        }
+        let flags_byte = data[13];
+        let mut mss = None;
+        let mut wscale = None;
+        let mut opts = &data[20..data_off];
+        while let Some(&kind) = opts.first() {
+            match kind {
+                0 => break,
+                1 => opts = &opts[1..],
+                2 if opts.len() >= 4 && opts[1] == 4 => {
+                    mss = Some(u16::from_be_bytes([opts[2], opts[3]]));
+                    opts = &opts[4..];
+                }
+                3 if opts.len() >= 3 && opts[1] == 3 => {
+                    wscale = Some(opts[2]);
+                    opts = &opts[3..];
+                }
+                _ => {
+                    let len = *opts.get(1)? as usize;
+                    if len < 2 || opts.len() < len {
+                        return None;
+                    }
+                    opts = &opts[len..];
+                }
+            }
+        }
+        Some(TcpSegment {
+            src_port: u16::from_be_bytes([data[0], data[1]]),
+            dst_port: u16::from_be_bytes([data[2], data[3]]),
+            seq: u32::from_be_bytes(data[4..8].try_into().ok()?),
+            ack: u32::from_be_bytes(data[8..12].try_into().ok()?),
+            flags: Flags {
+                fin: flags_byte & 0x01 != 0,
+                syn: flags_byte & 0x02 != 0,
+                rst: flags_byte & 0x04 != 0,
+                psh: flags_byte & 0x08 != 0,
+                ack: flags_byte & 0x10 != 0,
+            },
+            window: u16::from_be_bytes([data[14], data[15]]),
+            mss,
+            wscale,
+            payload: &data[data_off..],
+        })
+    }
+}
+
+/// A segment the state machine wants transmitted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SegmentOut {
+    /// Sequence number.
+    pub seq: u32,
+    /// Acknowledgement number.
+    pub ack: u32,
+    /// Flags.
+    pub flags: Flags,
+    /// Raw window field.
+    pub window: u16,
+    /// MSS option to include.
+    pub mss: Option<u16>,
+    /// Window-scale option to include.
+    pub wscale: Option<u8>,
+    /// Payload bytes.
+    pub payload: Vec<u8>,
+}
+
+/// Serialises a segment into an IPv4 payload with checksum.
+#[allow(clippy::too_many_arguments)]
+pub fn build_segment(
+    src: std::net::Ipv4Addr,
+    src_port: u16,
+    dst: std::net::Ipv4Addr,
+    dst_port: u16,
+    out: &SegmentOut,
+) -> Vec<u8> {
+    let mut opts = Vec::new();
+    if let Some(mss) = out.mss {
+        opts.extend_from_slice(&[2, 4]);
+        opts.extend_from_slice(&mss.to_be_bytes());
+    }
+    if let Some(ws) = out.wscale {
+        opts.extend_from_slice(&[3, 3, ws, 1]); // + NOP pad
+    }
+    while opts.len() % 4 != 0 {
+        opts.push(0);
+    }
+    let data_off = 20 + opts.len();
+    let mut d = Vec::with_capacity(data_off + out.payload.len());
+    d.extend_from_slice(&src_port.to_be_bytes());
+    d.extend_from_slice(&dst_port.to_be_bytes());
+    d.extend_from_slice(&out.seq.to_be_bytes());
+    d.extend_from_slice(&out.ack.to_be_bytes());
+    d.push(((data_off / 4) as u8) << 4);
+    let mut fb = 0u8;
+    if out.flags.fin {
+        fb |= 0x01;
+    }
+    if out.flags.syn {
+        fb |= 0x02;
+    }
+    if out.flags.rst {
+        fb |= 0x04;
+    }
+    if out.flags.psh {
+        fb |= 0x08;
+    }
+    if out.flags.ack {
+        fb |= 0x10;
+    }
+    d.push(fb);
+    d.extend_from_slice(&out.window.to_be_bytes());
+    d.extend_from_slice(&[0, 0, 0, 0]); // checksum + urgent
+    d.extend_from_slice(&opts);
+    d.extend_from_slice(&out.payload);
+    let c = checksum::pseudo_checksum(src, dst, protocol::TCP, &d);
+    d[16..18].copy_from_slice(&c.to_be_bytes());
+    d
+}
+
+/// Connection state names (RFC 793 figure 6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum State {
+    /// Passive open.
+    Listen,
+    /// Active open, SYN sent.
+    SynSent,
+    /// SYN received, SYN+ACK sent.
+    SynRcvd,
+    /// Data transfer.
+    Established,
+    /// We closed first; FIN sent.
+    FinWait1,
+    /// Our FIN acked; awaiting peer FIN.
+    FinWait2,
+    /// Peer closed first.
+    CloseWait,
+    /// Simultaneous close.
+    Closing,
+    /// Our FIN after CloseWait.
+    LastAck,
+    /// Draining duplicates.
+    TimeWait,
+    /// Dead.
+    Closed,
+}
+
+/// Application-visible events.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Event {
+    /// Three-way handshake completed.
+    Connected,
+    /// In-order payload arrived.
+    Data(Vec<u8>),
+    /// The peer sent FIN (no more data will arrive).
+    PeerFin,
+    /// The connection was reset.
+    Reset,
+    /// The connection is fully closed.
+    Closed,
+}
+
+/// Output of one state-machine step.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct Output {
+    /// Segments to emit, in order.
+    pub segments: Vec<SegmentOut>,
+    /// Events for the application, in order.
+    pub events: Vec<Event>,
+}
+
+impl Output {
+    fn merge(&mut self, other: Output) {
+        self.segments.extend(other.segments);
+        self.events.extend(other.events);
+    }
+}
+
+/// Tuning knobs (defaults follow the paper's configuration: MSS 1460, a
+/// 256 KiB receive window behind scale factor 2).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TcpConfig {
+    /// Our maximum segment size.
+    pub mss: usize,
+    /// Advertised receive buffer in bytes.
+    pub recv_buf: usize,
+    /// Our window-scale shift (0 disables the option).
+    pub window_scale: u8,
+    /// Initial retransmission timeout.
+    pub rto_init: Dur,
+    /// RTO floor.
+    pub rto_min: Dur,
+    /// RTO ceiling.
+    pub rto_max: Dur,
+    /// TIME-WAIT duration (2 x MSL).
+    pub time_wait: Dur,
+    /// SYN retry budget before giving up.
+    pub syn_retries: u32,
+}
+
+impl Default for TcpConfig {
+    fn default() -> Self {
+        TcpConfig {
+            mss: 1460,
+            recv_buf: 256 * 1024,
+            window_scale: 2,
+            rto_init: Dur::secs(1),
+            rto_min: Dur::millis(200),
+            rto_max: Dur::secs(60),
+            time_wait: Dur::secs(2),
+            syn_retries: 6,
+        }
+    }
+}
+
+/// Per-connection counters (Figure 8 reporting).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TcpStats {
+    /// Segments received and accepted.
+    pub segs_in: u64,
+    /// Segments emitted.
+    pub segs_out: u64,
+    /// Payload bytes delivered in order.
+    pub bytes_in: u64,
+    /// Payload bytes sent (first transmission).
+    pub bytes_out: u64,
+    /// RTO retransmissions.
+    pub rto_retransmits: u64,
+    /// Fast retransmissions.
+    pub fast_retransmits: u64,
+}
+
+/// The TCP connection state machine.
+#[derive(Debug, Clone)]
+pub struct Connection {
+    cfg: TcpConfig,
+    state: State,
+    // Send side.
+    iss: u32,
+    snd_una: u32,
+    snd_nxt: u32,
+    snd_wnd: usize,
+    snd_buf: std::collections::VecDeque<u8>,
+    syn_unacked: bool,
+    fin_queued: bool,
+    fin_sent: bool,
+    fin_seq: u32,
+    // Receive side.
+    rcv_nxt: u32,
+    ooo: BTreeMap<u32, Vec<u8>>,
+    peer_fin_seen: bool,
+    // Congestion control.
+    cwnd: usize,
+    ssthresh: usize,
+    dup_acks: u32,
+    in_recovery: bool,
+    recover: u32,
+    // RTT estimation.
+    srtt: Option<Dur>,
+    rttvar: Dur,
+    rto: Dur,
+    rtx_deadline: Option<Time>,
+    syn_attempts: u32,
+    rtt_sample: Option<(u32, Time)>,
+    // Options.
+    peer_mss: usize,
+    peer_wscale: u8,
+    ws_enabled: bool,
+    // TIME-WAIT.
+    time_wait_until: Option<Time>,
+    stats: TcpStats,
+}
+
+impl Connection {
+    /// A passive-open connection awaiting a SYN.
+    pub fn listen(cfg: TcpConfig, iss: u32) -> Connection {
+        Connection::new(cfg, iss, State::Listen)
+    }
+
+    /// An active open: returns the connection and the initial SYN.
+    pub fn connect(cfg: TcpConfig, iss: u32, now: Time) -> (Connection, Output) {
+        let mut c = Connection::new(cfg, iss, State::SynSent);
+        let syn = c.make_syn(false);
+        c.syn_attempts = 1;
+        c.arm_rtx(now);
+        (
+            c,
+            Output {
+                segments: vec![syn],
+                events: Vec::new(),
+            },
+        )
+    }
+
+    fn new(cfg: TcpConfig, iss: u32, state: State) -> Connection {
+        let rto = cfg.rto_init;
+        let mss = cfg.mss;
+        Connection {
+            cfg,
+            state,
+            iss,
+            snd_una: iss,
+            snd_nxt: iss.wrapping_add(1), // SYN occupies one sequence number
+            snd_wnd: mss,
+            snd_buf: std::collections::VecDeque::new(),
+            syn_unacked: true,
+            fin_queued: false,
+            fin_sent: false,
+            fin_seq: 0,
+            rcv_nxt: 0,
+            ooo: BTreeMap::new(),
+            peer_fin_seen: false,
+            cwnd: 10 * mss, // IW10, as modern stacks (incl. Linux 3.7) use
+            ssthresh: usize::MAX / 2,
+            dup_acks: 0,
+            in_recovery: false,
+            recover: iss,
+            srtt: None,
+            rttvar: Dur::ZERO,
+            rto,
+            rtx_deadline: None,
+            syn_attempts: 0,
+            rtt_sample: None,
+            peer_mss: 536,
+            peer_wscale: 0,
+            ws_enabled: false,
+            time_wait_until: None,
+            stats: TcpStats::default(),
+        }
+    }
+
+    /// Current state.
+    pub fn state(&self) -> State {
+        self.state
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> TcpStats {
+        self.stats
+    }
+
+    /// Effective MSS towards the peer.
+    pub fn effective_mss(&self) -> usize {
+        self.cfg.mss.min(self.peer_mss)
+    }
+
+    /// Congestion window in bytes (ablation/bench introspection).
+    pub fn cwnd(&self) -> usize {
+        self.cwnd
+    }
+
+    /// Bytes buffered but not yet acknowledged.
+    pub fn unacked_bytes(&self) -> usize {
+        self.snd_buf.len()
+    }
+
+    fn my_window_field(&self) -> u16 {
+        let scaled = self.cfg.recv_buf >> if self.ws_enabled { self.cfg.window_scale } else { 0 };
+        scaled.min(u16::MAX as usize) as u16
+    }
+
+    fn make_syn(&mut self, with_ack: bool) -> SegmentOut {
+        self.stats.segs_out += 1;
+        SegmentOut {
+            seq: self.iss,
+            ack: if with_ack { self.rcv_nxt } else { 0 },
+            flags: Flags {
+                syn: true,
+                ack: with_ack,
+                ..Flags::default()
+            },
+            window: self.cfg.recv_buf.min(u16::MAX as usize) as u16,
+            mss: Some(self.cfg.mss as u16),
+            wscale: if self.cfg.window_scale > 0 {
+                Some(self.cfg.window_scale)
+            } else {
+                None
+            },
+            payload: Vec::new(),
+        }
+    }
+
+    fn make_ack(&mut self) -> SegmentOut {
+        self.stats.segs_out += 1;
+        SegmentOut {
+            seq: self.snd_nxt,
+            ack: self.rcv_nxt,
+            flags: Flags::ACK,
+            window: self.my_window_field(),
+            mss: None,
+            wscale: None,
+            payload: Vec::new(),
+        }
+    }
+
+    fn arm_rtx(&mut self, now: Time) {
+        self.rtx_deadline = Some(now + self.rto);
+    }
+
+    fn unacked_in_flight(&self) -> bool {
+        self.syn_unacked
+            || seq::lt(self.snd_una, self.snd_nxt)
+            || (self.fin_sent && !matches!(self.state, State::FinWait2 | State::TimeWait | State::Closed))
+    }
+
+    /// The earliest timer deadline, if any.
+    pub fn next_deadline(&self) -> Option<Time> {
+        let mut d = self.time_wait_until;
+        if let Some(r) = self.rtx_deadline {
+            d = Some(match d {
+                Some(t) => t.min(r),
+                None => r,
+            });
+        }
+        d
+    }
+
+    /// Queues application data; returns segments to emit now.
+    pub fn app_send(&mut self, data: &[u8], now: Time) -> Output {
+        debug_assert!(matches!(
+            self.state,
+            State::Established | State::CloseWait | State::SynSent | State::SynRcvd
+        ));
+        self.snd_buf.extend(data);
+        Output {
+            segments: self.transmit(now),
+            events: Vec::new(),
+        }
+    }
+
+    /// Initiates close; queues a FIN after all buffered data.
+    pub fn app_close(&mut self, now: Time) -> Output {
+        match self.state {
+            State::Established => self.state = State::FinWait1,
+            State::CloseWait => self.state = State::LastAck,
+            State::SynSent | State::Listen => {
+                self.state = State::Closed;
+                return Output {
+                    segments: Vec::new(),
+                    events: vec![Event::Closed],
+                };
+            }
+            _ => return Output::default(),
+        }
+        self.fin_queued = true;
+        Output {
+            segments: self.transmit(now),
+            events: Vec::new(),
+        }
+    }
+
+    /// Sends data allowed by the congestion and peer windows.
+    pub fn transmit(&mut self, now: Time) -> Vec<SegmentOut> {
+        let mut out = Vec::new();
+        if !matches!(
+            self.state,
+            State::Established | State::CloseWait | State::FinWait1 | State::LastAck | State::Closing
+        ) {
+            return out;
+        }
+        let mss = self.effective_mss();
+        let wnd = self.cwnd.min(self.snd_wnd.max(mss)); // never shrink below 1 MSS (persist timer stand-in)
+        loop {
+            let in_flight = self.snd_nxt.wrapping_sub(self.snd_una) as usize;
+            let sent_bytes = self
+                .snd_nxt
+                .wrapping_sub(self.data_base()) as usize;
+            let unsent = self.snd_buf.len().saturating_sub(sent_bytes);
+            if unsent == 0 || in_flight >= wnd {
+                break;
+            }
+            let chunk = mss.min(unsent).min(wnd - in_flight);
+            if chunk == 0 {
+                break;
+            }
+            let payload: Vec<u8> = self
+                .snd_buf
+                .iter()
+                .skip(sent_bytes)
+                .take(chunk)
+                .copied()
+                .collect();
+            let last = chunk == unsent;
+            self.stats.segs_out += 1;
+            self.stats.bytes_out += chunk as u64;
+            out.push(SegmentOut {
+                seq: self.snd_nxt,
+                ack: self.rcv_nxt,
+                flags: Flags {
+                    ack: true,
+                    psh: last,
+                    ..Flags::default()
+                },
+                window: self.my_window_field(),
+                mss: None,
+                wscale: None,
+                payload,
+            });
+            if self.rtt_sample.is_none() {
+                self.rtt_sample = Some((self.snd_nxt.wrapping_add(chunk as u32), now));
+            }
+            self.snd_nxt = self.snd_nxt.wrapping_add(chunk as u32);
+        }
+        // FIN once everything is sent.
+        if self.fin_queued && !self.fin_sent {
+            let sent_bytes = self.snd_nxt.wrapping_sub(self.data_base()) as usize;
+            if sent_bytes == self.snd_buf.len() {
+                self.fin_seq = self.snd_nxt;
+                self.fin_sent = true;
+                self.stats.segs_out += 1;
+                out.push(SegmentOut {
+                    seq: self.snd_nxt,
+                    ack: self.rcv_nxt,
+                    flags: Flags {
+                        fin: true,
+                        ack: true,
+                        ..Flags::default()
+                    },
+                    window: self.my_window_field(),
+                    mss: None,
+                    wscale: None,
+                    payload: Vec::new(),
+                });
+                self.snd_nxt = self.snd_nxt.wrapping_add(1);
+            }
+        }
+        if !out.is_empty() && self.rtx_deadline.is_none() {
+            self.arm_rtx(now);
+        }
+        out
+    }
+
+    /// Sequence number of the first byte in `snd_buf`.
+    fn data_base(&self) -> u32 {
+        // snd_una sits at the first unacked sequence number; if the SYN is
+        // still unacked the buffered data starts one later.
+        if self.syn_unacked {
+            self.snd_una.wrapping_add(1)
+        } else {
+            self.snd_una
+        }
+    }
+
+    /// Handles a timer expiry.
+    pub fn poll(&mut self, now: Time) -> Output {
+        let mut out = Output::default();
+        if let Some(tw) = self.time_wait_until {
+            if tw <= now {
+                self.time_wait_until = None;
+                self.state = State::Closed;
+                out.events.push(Event::Closed);
+                return out;
+            }
+        }
+        let Some(deadline) = self.rtx_deadline else {
+            return out;
+        };
+        if deadline > now {
+            return out;
+        }
+        if !self.unacked_in_flight() {
+            self.rtx_deadline = None;
+            return out;
+        }
+        // RTO fired: back off, shrink to one MSS, retransmit the earliest
+        // outstanding segment (RFC 5681 §3.1), discard the RTT sample
+        // (Karn's rule).
+        self.rto = Dur::nanos((self.rto.as_nanos() * 2).min(self.cfg.rto_max.as_nanos()));
+        self.rtt_sample = None;
+        self.in_recovery = false;
+        self.dup_acks = 0;
+        match self.state {
+            State::SynSent | State::SynRcvd => {
+                self.syn_attempts += 1;
+                if self.syn_attempts > self.cfg.syn_retries {
+                    self.state = State::Closed;
+                    out.events.push(Event::Reset);
+                    self.rtx_deadline = None;
+                    return out;
+                }
+                let with_ack = self.state == State::SynRcvd;
+                out.segments.push(self.make_syn(with_ack));
+            }
+            _ => {
+                let flight = self.snd_nxt.wrapping_sub(self.snd_una) as usize;
+                self.ssthresh = (flight / 2).max(2 * self.effective_mss());
+                self.cwnd = self.effective_mss();
+                self.stats.rto_retransmits += 1;
+                out.segments.extend(self.retransmit_front());
+            }
+        }
+        self.arm_rtx(now);
+        out
+    }
+
+    fn retransmit_front(&mut self) -> Vec<SegmentOut> {
+        // Retransmit starting at snd_una: data if any, else the FIN.
+        let mut out = Vec::new();
+        let data_base = self.data_base();
+        let offset = self.snd_una.wrapping_sub(data_base) as i64;
+        if offset >= 0 && (offset as usize) < self.snd_buf.len() {
+            let offset = offset as usize;
+            let sent_bytes = self.snd_nxt.wrapping_sub(data_base) as usize;
+            let outstanding = sent_bytes.saturating_sub(offset).min(self.snd_buf.len() - offset);
+            let chunk = self.effective_mss().min(outstanding.max(1)).min(self.snd_buf.len() - offset);
+            let payload: Vec<u8> = self
+                .snd_buf
+                .iter()
+                .skip(offset)
+                .take(chunk)
+                .copied()
+                .collect();
+            self.stats.segs_out += 1;
+            out.push(SegmentOut {
+                seq: self.snd_una,
+                ack: self.rcv_nxt,
+                flags: Flags {
+                    ack: true,
+                    psh: true,
+                    ..Flags::default()
+                },
+                window: self.my_window_field(),
+                mss: None,
+                wscale: None,
+                payload,
+            });
+        } else if self.fin_sent && seq::le(self.snd_una, self.fin_seq) {
+            self.stats.segs_out += 1;
+            out.push(SegmentOut {
+                seq: self.fin_seq,
+                ack: self.rcv_nxt,
+                flags: Flags {
+                    fin: true,
+                    ack: true,
+                    ..Flags::default()
+                },
+                window: self.my_window_field(),
+                mss: None,
+                wscale: None,
+                payload: Vec::new(),
+            });
+        }
+        out
+    }
+
+    /// Feeds an inbound segment through the state machine.
+    pub fn on_segment(&mut self, seg: &TcpSegment<'_>, now: Time) -> Output {
+        let mut out = Output::default();
+        self.stats.segs_in += 1;
+
+        if seg.flags.rst {
+            if !matches!(self.state, State::Closed | State::Listen) {
+                self.state = State::Closed;
+                self.rtx_deadline = None;
+                out.events.push(Event::Reset);
+            }
+            return out;
+        }
+
+        match self.state {
+            State::Closed => return out,
+            State::Listen => {
+                if seg.flags.syn {
+                    self.rcv_nxt = seg.seq.wrapping_add(1);
+                    self.learn_options(seg);
+                    self.state = State::SynRcvd;
+                    let synack = self.make_syn(true);
+                    out.segments.push(synack);
+                    self.syn_attempts = 1;
+                    self.arm_rtx(now);
+                }
+                return out;
+            }
+            State::SynSent => {
+                if seg.flags.syn && seg.flags.ack && seg.ack == self.iss.wrapping_add(1) {
+                    self.rcv_nxt = seg.seq.wrapping_add(1);
+                    self.learn_options(seg);
+                    self.snd_una = seg.ack;
+                    self.syn_unacked = false;
+                    self.snd_wnd = self.scaled_window(seg);
+                    self.state = State::Established;
+                    self.rtx_deadline = None;
+                    out.segments.push(self.make_ack());
+                    out.events.push(Event::Connected);
+                    out.segments.extend(self.transmit(now));
+                } else if seg.flags.syn && !seg.flags.ack {
+                    // Simultaneous open.
+                    self.rcv_nxt = seg.seq.wrapping_add(1);
+                    self.learn_options(seg);
+                    self.state = State::SynRcvd;
+                    let synack = self.make_syn(true);
+                    out.segments.push(synack);
+                }
+                return out;
+            }
+            _ => {}
+        }
+
+        // --- ACK processing -------------------------------------------------
+        if seg.flags.ack {
+            out.merge(self.process_ack(seg, now));
+        }
+
+        // --- payload + FIN --------------------------------------------------
+        if !seg.payload.is_empty() || seg.flags.fin {
+            out.merge(self.process_payload(seg, now));
+        }
+
+        out
+    }
+
+    fn learn_options(&mut self, seg: &TcpSegment<'_>) {
+        if let Some(mss) = seg.mss {
+            self.peer_mss = mss as usize;
+        }
+        match seg.wscale {
+            Some(ws) if self.cfg.window_scale > 0 => {
+                self.peer_wscale = ws.min(14);
+                self.ws_enabled = true;
+            }
+            _ => {
+                self.peer_wscale = 0;
+                self.ws_enabled = false;
+            }
+        }
+    }
+
+    fn scaled_window(&self, seg: &TcpSegment<'_>) -> usize {
+        let shift = if self.ws_enabled && !seg.flags.syn {
+            self.peer_wscale
+        } else {
+            0
+        };
+        (seg.window as usize) << shift
+    }
+
+    fn process_ack(&mut self, seg: &TcpSegment<'_>, now: Time) -> Output {
+        let mut out = Output::default();
+        let ack = seg.ack;
+        if seq::gt(ack, self.snd_nxt) {
+            // Acking data we never sent: ack back and bail.
+            out.segments.push(self.make_ack());
+            return out;
+        }
+        self.snd_wnd = self.scaled_window(seg);
+
+        if seq::gt(ack, self.snd_una) {
+            let mut advanced = ack.wrapping_sub(self.snd_una) as usize;
+            // SYN consumes one sequence number.
+            if self.syn_unacked {
+                self.syn_unacked = false;
+                advanced -= 1;
+                if self.state == State::SynRcvd {
+                    self.state = State::Established;
+                    out.events.push(Event::Connected);
+                }
+            }
+            // FIN consumes one too.
+            let mut fin_acked = false;
+            if self.fin_sent && seq::ge(ack, self.fin_seq.wrapping_add(1)) {
+                advanced -= 1;
+                fin_acked = true;
+            }
+            // Data bytes.
+            let from_buf = advanced.min(self.snd_buf.len());
+            self.snd_buf.drain(..from_buf);
+            self.snd_una = ack;
+
+            // RTT sample (Karn-safe: sample invalidated on retransmit).
+            if let Some((sample_seq, sent_at)) = self.rtt_sample {
+                if seq::ge(ack, sample_seq) {
+                    let rtt = now.saturating_since(sent_at);
+                    self.update_rto(rtt);
+                    self.rtt_sample = None;
+                }
+            }
+
+            if self.in_recovery {
+                if seq::ge(ack, self.recover) {
+                    // Full acknowledgement: leave recovery (New Reno).
+                    self.in_recovery = false;
+                    self.cwnd = self.ssthresh;
+                    self.dup_acks = 0;
+                } else {
+                    // Partial ACK: retransmit the next hole, deflate.
+                    out.segments.extend(self.retransmit_front());
+                    self.cwnd = self.cwnd.saturating_sub(from_buf) + self.effective_mss();
+                }
+            } else {
+                self.dup_acks = 0;
+                // Congestion window growth.
+                let mss = self.effective_mss();
+                if self.cwnd < self.ssthresh {
+                    self.cwnd += mss; // slow start
+                } else {
+                    self.cwnd += (mss * mss / self.cwnd).max(1); // avoidance
+                }
+            }
+
+            // Progress: re-arm or clear the retransmission timer.
+            if self.unacked_in_flight() {
+                self.rto = self.rto.max(self.cfg.rto_min);
+                self.arm_rtx(now);
+            } else {
+                self.rtx_deadline = None;
+            }
+
+            // Close-sequence transitions driven by our FIN being acked.
+            if fin_acked {
+                match self.state {
+                    State::FinWait1 => self.state = State::FinWait2,
+                    State::Closing => self.enter_time_wait(now),
+                    State::LastAck => {
+                        self.state = State::Closed;
+                        out.events.push(Event::Closed);
+                    }
+                    _ => {}
+                }
+            }
+            out.segments.extend(self.transmit(now));
+        } else if ack == self.snd_una
+            && seg.payload.is_empty()
+            && !seg.flags.fin
+            && seq::lt(self.snd_una, self.snd_nxt)
+        {
+            // Duplicate ACK.
+            self.dup_acks += 1;
+            if self.dup_acks == 3 && !self.in_recovery {
+                // Fast retransmit + fast recovery (RFC 6582).
+                let flight = self.snd_nxt.wrapping_sub(self.snd_una) as usize;
+                self.ssthresh = (flight / 2).max(2 * self.effective_mss());
+                self.recover = self.snd_nxt;
+                self.in_recovery = true;
+                self.stats.fast_retransmits += 1;
+                out.segments.extend(self.retransmit_front());
+                self.cwnd = self.ssthresh + 3 * self.effective_mss();
+            } else if self.in_recovery {
+                // Window inflation per extra dup ack.
+                self.cwnd += self.effective_mss();
+                out.segments.extend(self.transmit(now));
+            }
+        }
+        out
+    }
+
+    fn process_payload(&mut self, seg: &TcpSegment<'_>, now: Time) -> Output {
+        let mut out = Output::default();
+        let mut seq_no = seg.seq;
+        let mut payload = seg.payload;
+
+        // Trim bytes we already have.
+        if seq::lt(seq_no, self.rcv_nxt) {
+            let skip = self.rcv_nxt.wrapping_sub(seq_no) as usize;
+            if skip >= payload.len() && !seg.flags.fin {
+                out.segments.push(self.make_ack());
+                return out;
+            }
+            payload = payload.get(skip..).unwrap_or(&[]);
+            seq_no = self.rcv_nxt;
+        }
+
+        if seq_no == self.rcv_nxt {
+            if !payload.is_empty() {
+                self.rcv_nxt = self.rcv_nxt.wrapping_add(payload.len() as u32);
+                self.stats.bytes_in += payload.len() as u64;
+                out.events.push(Event::Data(payload.to_vec()));
+                // Drain contiguous out-of-order data.
+                while let Some((&s, _)) = self.ooo.first_key_value() {
+                    if seq::gt(s, self.rcv_nxt) {
+                        break;
+                    }
+                    let (s, data) = self.ooo.pop_first().expect("peeked");
+                    let skip = self.rcv_nxt.wrapping_sub(s) as usize;
+                    if skip < data.len() {
+                        let fresh = &data[skip..];
+                        self.rcv_nxt = self.rcv_nxt.wrapping_add(fresh.len() as u32);
+                        self.stats.bytes_in += fresh.len() as u64;
+                        out.events.push(Event::Data(fresh.to_vec()));
+                    }
+                }
+            }
+            // FIN processing: only once all data up to the FIN arrived.
+            if seg.flags.fin {
+                let fin_seq = seg.seq.wrapping_add(seg.payload.len() as u32);
+                if fin_seq == self.rcv_nxt && !self.peer_fin_seen {
+                    self.peer_fin_seen = true;
+                    self.rcv_nxt = self.rcv_nxt.wrapping_add(1);
+                    out.events.push(Event::PeerFin);
+                    match self.state {
+                        State::Established => self.state = State::CloseWait,
+                        State::FinWait1 => self.state = State::Closing,
+                        State::FinWait2 => self.enter_time_wait(now),
+                        _ => {}
+                    }
+                }
+            }
+            out.segments.push(self.make_ack());
+        } else if seq::gt(seq_no, self.rcv_nxt) {
+            // Out of order: stash and send a duplicate ACK.
+            let in_window = seq_no.wrapping_sub(self.rcv_nxt) as usize <= self.cfg.recv_buf;
+            if in_window && !payload.is_empty() {
+                self.ooo.entry(seq_no).or_insert_with(|| payload.to_vec());
+            }
+            out.segments.push(self.make_ack());
+        } else if seg.flags.fin {
+            out.segments.push(self.make_ack());
+        }
+        out
+    }
+
+    fn enter_time_wait(&mut self, now: Time) {
+        self.state = State::TimeWait;
+        self.rtx_deadline = None;
+        self.time_wait_until = Some(now + self.cfg.time_wait);
+    }
+
+    fn update_rto(&mut self, rtt: Dur) {
+        // RFC 6298.
+        match self.srtt {
+            None => {
+                self.srtt = Some(rtt);
+                self.rttvar = Dur::nanos(rtt.as_nanos() / 2);
+            }
+            Some(srtt) => {
+                let diff = if srtt > rtt { srtt - rtt } else { rtt - srtt };
+                self.rttvar = Dur::nanos((3 * self.rttvar.as_nanos() + diff.as_nanos()) / 4);
+                self.srtt = Some(Dur::nanos((7 * srtt.as_nanos() + rtt.as_nanos()) / 8));
+            }
+        }
+        let rto = Dur::nanos(
+            self.srtt.expect("just set").as_nanos() + (4 * self.rttvar.as_nanos()).max(1),
+        );
+        self.rto = rto.max(self.cfg.rto_min);
+        self.rto = Dur::nanos(self.rto.as_nanos().min(self.cfg.rto_max.as_nanos()));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::net::Ipv4Addr;
+
+    const A: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 1);
+    const B: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 2);
+
+    /// Wire-level pump: carries segments between two connections with an
+    /// optional per-segment fault hook, via real serialisation.
+    fn pump(
+        a: &mut Connection,
+        b: &mut Connection,
+        a_out: &mut Vec<SegmentOut>,
+        b_out: &mut Vec<SegmentOut>,
+        now: &mut Time,
+        mut fault: impl FnMut(usize, bool) -> bool, // (index, a_to_b) -> deliver?
+    ) -> (Vec<Event>, Vec<Event>) {
+        let mut ev_a = Vec::new();
+        let mut ev_b = Vec::new();
+        let mut idx = 0;
+        for _ in 0..400 {
+            *now += Dur::millis(1);
+            let mut quiet = true;
+            for seg in std::mem::take(a_out) {
+                let wire = build_segment(A, 1000, B, 2000, &seg);
+                idx += 1;
+                if !fault(idx, true) {
+                    continue;
+                }
+                let parsed = TcpSegment::parse(A, B, &wire).expect("valid segment");
+                let out = b.on_segment(&parsed, *now);
+                b_out.extend(out.segments);
+                ev_b.extend(out.events);
+                quiet = false;
+            }
+            for seg in std::mem::take(b_out) {
+                let wire = build_segment(B, 2000, A, 1000, &seg);
+                idx += 1;
+                if !fault(idx, false) {
+                    continue;
+                }
+                let parsed = TcpSegment::parse(B, A, &wire).expect("valid segment");
+                let out = a.on_segment(&parsed, *now);
+                a_out.extend(out.segments);
+                ev_a.extend(out.events);
+                quiet = false;
+            }
+            if quiet {
+                // Let timers fire (jump to the next deadline).
+                let next = [a.next_deadline(), b.next_deadline()]
+                    .into_iter()
+                    .flatten()
+                    .min();
+                match next {
+                    Some(t) => {
+                        *now = (*now).max(t);
+                        let oa = a.poll(*now);
+                        a_out.extend(oa.segments);
+                        ev_a.extend(oa.events);
+                        let ob = b.poll(*now);
+                        b_out.extend(ob.segments);
+                        ev_b.extend(ob.events);
+                        if a_out.is_empty() && b_out.is_empty() {
+                            break;
+                        }
+                    }
+                    None => break,
+                }
+            }
+        }
+        (ev_a, ev_b)
+    }
+
+    fn handshake() -> (Connection, Connection, Vec<SegmentOut>, Vec<SegmentOut>, Time) {
+        let mut now = Time::ZERO;
+        let (mut client, out) = Connection::connect(TcpConfig::default(), 100, now);
+        let mut server = Connection::listen(TcpConfig::default(), 9000);
+        let mut c_out = out.segments;
+        let mut s_out = Vec::new();
+        let (ev_c, ev_s) = pump(&mut client, &mut server, &mut c_out, &mut s_out, &mut now, |_, _| true);
+        assert!(ev_c.contains(&Event::Connected));
+        assert!(ev_s.contains(&Event::Connected));
+        assert_eq!(client.state(), State::Established);
+        assert_eq!(server.state(), State::Established);
+        (client, server, c_out, s_out, now)
+    }
+
+    fn collect_data(events: &[Event]) -> Vec<u8> {
+        let mut data = Vec::new();
+        for e in events {
+            if let Event::Data(d) = e {
+                data.extend_from_slice(d);
+            }
+        }
+        data
+    }
+
+    #[test]
+    fn three_way_handshake_establishes_both_sides() {
+        handshake();
+    }
+
+    #[test]
+    fn options_are_negotiated() {
+        let (client, server, ..) = handshake();
+        assert_eq!(client.effective_mss(), 1460);
+        assert_eq!(server.effective_mss(), 1460);
+        assert!(client.ws_enabled && server.ws_enabled, "window scaling on");
+    }
+
+    #[test]
+    fn bulk_transfer_delivers_in_order() {
+        let (mut client, mut server, mut c_out, mut s_out, mut now) = handshake();
+        let data: Vec<u8> = (0..100_000u32).map(|i| i as u8).collect();
+        c_out.extend(client.app_send(&data, now).segments);
+        let (_, ev_s) = pump(&mut client, &mut server, &mut c_out, &mut s_out, &mut now, |_, _| true);
+        assert_eq!(collect_data(&ev_s), data);
+        assert!(client.stats().rto_retransmits == 0, "clean path, no RTOs");
+    }
+
+    #[test]
+    fn bidirectional_transfer() {
+        let (mut client, mut server, mut c_out, mut s_out, mut now) = handshake();
+        c_out.extend(client.app_send(b"request", now).segments);
+        s_out.extend(server.app_send(b"response", now).segments);
+        let (ev_c, ev_s) = pump(&mut client, &mut server, &mut c_out, &mut s_out, &mut now, |_, _| true);
+        assert_eq!(collect_data(&ev_s), b"request");
+        assert_eq!(collect_data(&ev_c), b"response");
+    }
+
+    #[test]
+    fn packet_loss_recovered_by_retransmission() {
+        let (mut client, mut server, mut c_out, mut s_out, mut now) = handshake();
+        let data: Vec<u8> = (0..50_000u32).map(|i| (i * 7) as u8).collect();
+        c_out.extend(client.app_send(&data, now).segments);
+        // Drop every 9th a->b segment.
+        let (_, ev_s) = pump(&mut client, &mut server, &mut c_out, &mut s_out, &mut now, |i, a2b| {
+            !(a2b && i % 9 == 0)
+        });
+        assert_eq!(collect_data(&ev_s), data);
+        let st = client.stats();
+        assert!(
+            st.fast_retransmits + st.rto_retransmits > 0,
+            "losses forced retransmissions: {st:?}"
+        );
+    }
+
+    #[test]
+    fn triple_dup_ack_triggers_fast_retransmit_not_rto() {
+        let (mut client, mut server, mut c_out, mut s_out, mut now) = handshake();
+        let data = vec![0xAAu8; 20 * 1460];
+        c_out.extend(client.app_send(&data, now).segments);
+        // Drop exactly the first data segment a->b; plenty of dupacks follow.
+        let mut dropped = false;
+        let (_, ev_s) = pump(&mut client, &mut server, &mut c_out, &mut s_out, &mut now, |_, a2b| {
+            if a2b && !dropped {
+                dropped = true;
+                return false;
+            }
+            true
+        });
+        assert_eq!(collect_data(&ev_s).len(), data.len());
+        assert!(client.stats().fast_retransmits >= 1, "fast retransmit used");
+    }
+
+    #[test]
+    fn graceful_close_reaches_closed_on_both_ends() {
+        let (mut client, mut server, mut c_out, mut s_out, mut now) = handshake();
+        c_out.extend(client.app_close(now).segments);
+        let (_, ev_s) = pump(&mut client, &mut server, &mut c_out, &mut s_out, &mut now, |_, _| true);
+        assert!(ev_s.contains(&Event::PeerFin));
+        assert_eq!(server.state(), State::CloseWait);
+        s_out.extend(server.app_close(now).segments);
+        let (ev_c, ev_s2) = pump(&mut client, &mut server, &mut c_out, &mut s_out, &mut now, |_, _| true);
+        assert!(ev_s2.contains(&Event::Closed));
+        assert!(ev_c.contains(&Event::PeerFin));
+        // Client sits in TIME_WAIT until 2MSL expires.
+        assert_eq!(client.state(), State::TimeWait);
+        now += Dur::secs(3);
+        let out = client.poll(now);
+        assert!(out.events.contains(&Event::Closed));
+        assert_eq!(client.state(), State::Closed);
+    }
+
+    #[test]
+    fn simultaneous_close_passes_through_closing() {
+        let (mut client, mut server, mut c_out, mut s_out, mut now) = handshake();
+        c_out.extend(client.app_close(now).segments);
+        s_out.extend(server.app_close(now).segments);
+        pump(&mut client, &mut server, &mut c_out, &mut s_out, &mut now, |_, _| true);
+        for conn in [&mut client, &mut server] {
+            assert!(
+                matches!(conn.state(), State::TimeWait | State::Closed),
+                "simultaneous close converges, got {:?}",
+                conn.state()
+            );
+        }
+    }
+
+    #[test]
+    fn rst_tears_down_immediately() {
+        let (mut client, _server, ..) = handshake();
+        let rst = TcpSegment {
+            src_port: 2000,
+            dst_port: 1000,
+            seq: 0,
+            ack: 0,
+            flags: Flags {
+                rst: true,
+                ..Flags::default()
+            },
+            window: 0,
+            mss: None,
+            wscale: None,
+            payload: &[],
+        };
+        let out = client.on_segment(&rst, Time::ZERO + Dur::secs(1));
+        assert!(out.events.contains(&Event::Reset));
+        assert_eq!(client.state(), State::Closed);
+    }
+
+    #[test]
+    fn syn_retries_then_gives_up() {
+        let mut now = Time::ZERO;
+        let cfg = TcpConfig {
+            syn_retries: 2,
+            ..TcpConfig::default()
+        };
+        let (mut client, out) = Connection::connect(cfg, 1, now);
+        assert_eq!(out.segments.len(), 1);
+        let mut resets = 0;
+        for _ in 0..5 {
+            let Some(d) = client.next_deadline() else { break };
+            now = d;
+            let out = client.poll(now);
+            resets += out.events.iter().filter(|e| **e == Event::Reset).count();
+        }
+        assert_eq!(resets, 1, "gave up exactly once");
+        assert_eq!(client.state(), State::Closed);
+    }
+
+    #[test]
+    fn cwnd_grows_in_slow_start_and_halves_on_loss() {
+        let (mut client, mut server, mut c_out, mut s_out, mut now) = handshake();
+        let before = client.cwnd();
+        let data = vec![1u8; 40 * 1460];
+        c_out.extend(client.app_send(&data, now).segments);
+        pump(&mut client, &mut server, &mut c_out, &mut s_out, &mut now, |_, _| true);
+        assert!(client.cwnd() > before, "slow start grew the window");
+
+        // Now force an RTO and observe multiplicative decrease.
+        let data2 = vec![2u8; 5 * 1460];
+        let segs = client.app_send(&data2, now).segments;
+        assert!(!segs.is_empty());
+        let deadline = client.next_deadline().expect("rtx armed");
+        let out = client.poll(deadline);
+        assert!(!out.segments.is_empty(), "RTO retransmission");
+        assert_eq!(client.cwnd(), client.effective_mss(), "cwnd collapsed to 1 MSS");
+    }
+
+    #[test]
+    fn window_scaling_disabled_still_interoperates() {
+        // A peer without RFC 7323 support: our side must fall back to
+        // unscaled windows and still move data.
+        let mut now = Time::ZERO;
+        let no_ws = TcpConfig {
+            window_scale: 0,
+            ..TcpConfig::default()
+        };
+        let (mut client, out) = Connection::connect(no_ws, 100, now);
+        let mut server = Connection::listen(TcpConfig::default(), 9000);
+        let mut c_out = out.segments;
+        let mut s_out = Vec::new();
+        pump(&mut client, &mut server, &mut c_out, &mut s_out, &mut now, |_, _| true);
+        assert!(!client.ws_enabled, "client never offered scaling");
+        assert!(!server.ws_enabled, "server disabled scaling in response");
+        let data: Vec<u8> = (0..40_000u32).map(|i| i as u8).collect();
+        c_out.extend(client.app_send(&data, now).segments);
+        let (_, ev_s) = pump(&mut client, &mut server, &mut c_out, &mut s_out, &mut now, |_, _| true);
+        assert_eq!(collect_data(&ev_s), data);
+    }
+
+    #[test]
+    fn duplicate_segments_do_not_duplicate_data() {
+        let (mut client, mut server, mut c_out, mut s_out, mut now) = handshake();
+        let out = client.app_send(b"exactly-once", now);
+        let seg = &out.segments[0];
+        let wire = build_segment(A, 1000, B, 2000, seg);
+        let parsed = TcpSegment::parse(A, B, &wire).unwrap();
+        let mut events = Vec::new();
+        // Deliver the same segment three times (a duplicating network).
+        for _ in 0..3 {
+            let o = server.on_segment(&parsed, now);
+            events.extend(o.events);
+            s_out.extend(o.segments);
+        }
+        assert_eq!(collect_data(&events), b"exactly-once");
+        // Drain the ACKs so both sides settle.
+        c_out.clear();
+        pump(&mut client, &mut server, &mut c_out, &mut s_out, &mut now, |_, _| true);
+        assert_eq!(server.stats().bytes_in, 12);
+    }
+
+    #[test]
+    fn out_of_order_segments_reassemble() {
+        let (mut client, mut server, mut _c_out, mut s_out, now) = handshake();
+        // Client produces two segments; deliver the second first.
+        let out = client.app_send(&vec![b'x'; 1460], now);
+        let out2 = client.app_send(&[b'y'; 100], now);
+        let first = &out.segments[0];
+        let second = &out2.segments[0];
+        let w1 = build_segment(A, 1000, B, 2000, first);
+        let w2 = build_segment(A, 1000, B, 2000, second);
+        let p1 = TcpSegment::parse(A, B, &w1).unwrap();
+        let p2 = TcpSegment::parse(A, B, &w2).unwrap();
+
+        let o = server.on_segment(&p2, now);
+        assert!(
+            o.events.iter().all(|e| !matches!(e, Event::Data(_))),
+            "out-of-order data is held back"
+        );
+        assert!(!o.segments.is_empty(), "and a duplicate ACK is emitted");
+        let o = server.on_segment(&p1, now);
+        let data = collect_data(&o.events);
+        assert_eq!(data.len(), 1560, "hole filled: both segments delivered");
+        assert!(data[..1460].iter().all(|b| *b == b'x'));
+        assert!(data[1460..].iter().all(|b| *b == b'y'));
+        drop(s_out.drain(..));
+    }
+
+    #[test]
+    fn wire_format_round_trip_with_options() {
+        let out = SegmentOut {
+            seq: 0xDEADBEEF,
+            ack: 0x01020304,
+            flags: Flags {
+                syn: true,
+                ack: true,
+                ..Flags::default()
+            },
+            window: 0xFFFF,
+            mss: Some(1460),
+            wscale: Some(7),
+            payload: b"hello".to_vec(),
+        };
+        let wire = build_segment(A, 80, B, 1234, &out);
+        let seg = TcpSegment::parse(A, B, &wire).unwrap();
+        assert_eq!(seg.src_port, 80);
+        assert_eq!(seg.dst_port, 1234);
+        assert_eq!(seg.seq, 0xDEADBEEF);
+        assert_eq!(seg.ack, 0x01020304);
+        assert!(seg.flags.syn && seg.flags.ack);
+        assert_eq!(seg.mss, Some(1460));
+        assert_eq!(seg.wscale, Some(7));
+        assert_eq!(seg.payload, b"hello");
+    }
+
+    #[test]
+    fn corrupted_segment_rejected() {
+        let out = SegmentOut {
+            seq: 1,
+            ack: 2,
+            flags: Flags::ACK,
+            window: 100,
+            mss: None,
+            wscale: None,
+            payload: b"data".to_vec(),
+        };
+        let mut wire = build_segment(A, 80, B, 1234, &out);
+        wire[22] ^= 0x40;
+        assert!(TcpSegment::parse(A, B, &wire).is_none());
+    }
+
+    proptest! {
+        /// Sequence-space comparisons behave like signed distance.
+        #[test]
+        fn prop_seq_order_is_antisymmetric(a in any::<u32>(), delta in 1u32..0x7FFF_FFFF) {
+            let b = a.wrapping_add(delta);
+            prop_assert!(seq::lt(a, b));
+            prop_assert!(seq::gt(b, a));
+            prop_assert!(!seq::lt(b, a));
+            prop_assert!(seq::le(a, a) && seq::ge(a, a));
+        }
+
+        /// Under random loss in both directions, the stream still arrives
+        /// complete and in order (retransmission is sound).
+        #[test]
+        fn prop_lossy_link_preserves_stream(
+            drop_mask in any::<u64>(),
+            len in 1usize..30_000,
+        ) {
+            let (mut client, mut server, mut c_out, mut s_out, mut now) = handshake();
+            let data: Vec<u8> = (0..len).map(|i| (i * 31 % 251) as u8).collect();
+            c_out.extend(client.app_send(&data, now).segments);
+            let (_, ev_s) = pump(&mut client, &mut server, &mut c_out, &mut s_out, &mut now, |i, _| {
+                // Drop per the mask bits, but never starve forever.
+                (drop_mask >> (i % 64)) & 1 == 0 || i > 200
+            });
+            prop_assert_eq!(collect_data(&ev_s), data);
+        }
+
+        /// Segment wire format round-trips for arbitrary field values.
+        #[test]
+        fn prop_wire_round_trip(seq in any::<u32>(), ack in any::<u32>(), win in any::<u16>(),
+                                payload in proptest::collection::vec(any::<u8>(), 0..64)) {
+            let out = SegmentOut {
+                seq, ack,
+                flags: Flags::ACK,
+                window: win,
+                mss: None,
+                wscale: None,
+                payload: payload.clone(),
+            };
+            let wire = build_segment(A, 1, B, 2, &out);
+            let seg = TcpSegment::parse(A, B, &wire).unwrap();
+            prop_assert_eq!(seg.seq, seq);
+            prop_assert_eq!(seg.ack, ack);
+            prop_assert_eq!(seg.window, win);
+            prop_assert_eq!(seg.payload, &payload[..]);
+        }
+    }
+}

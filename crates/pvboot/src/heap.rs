@@ -1,0 +1,299 @@
+//! A cost model of the modified OCaml garbage collector (paper §3.3).
+//!
+//! "The OCaml garbage collector splits the heap into two regions: a fast
+//! minor heap for short-lived values, and a large major heap to which
+//! longer-lived values are promoted on each minor heap collection."
+//!
+//! The figure-7 experiment compares four targets running identical heap
+//! workloads: `mirage (extent)`, `mirage (malloc)`, `linux-native` and
+//! `linux-pv`. The differences are purely in how heap *growth* is priced:
+//!
+//! * **Extent** backing maps one 2 MiB superpage per chunk — one page-table
+//!   update — and needs no chunk-tracking table because the heap is
+//!   guaranteed contiguous.
+//! * **Malloc** backing maps 512 individual 4 KiB pages per chunk and must
+//!   maintain a chunk page table that every minor collection re-scans
+//!   ("a normal userspace garbage collector maintains a page table to
+//!   track allocated heap chunks").
+//! * Hosted targets additionally pay a syscall per growth (`brk`/`mmap`)
+//!   and a soft page fault per fresh page; the paravirtualised target pays
+//!   page-table propagation to the hypervisor on top.
+//!
+//! [`GcHeap`] exposes those costs as [`Dur`] values that the runtime
+//! charges to virtual time.
+
+use mirage_hypervisor::{costs::CostTable, Dur};
+
+use crate::extent::CHUNK_SIZE;
+
+/// Which allocator backs the major heap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HeapBacking {
+    /// PVBoot extent allocator: 2 MiB superpages, contiguous, no chunk
+    /// table (the `xen-extent` target).
+    Extent,
+    /// A C `malloc`-style allocator: 4 KiB mappings plus a chunk-tracking
+    /// page table (the `xen-malloc` target).
+    Malloc,
+}
+
+/// Per-environment overheads added to every heap growth operation.
+///
+/// These are what distinguish the `linux-native` and `linux-pv` rows of
+/// Figure 7 from the unikernel rows running the identical workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EnvOverheads {
+    /// Trap cost per growth operation (`mmap`/`brk`).
+    pub grow_syscall: Dur,
+    /// Soft-fault cost per fresh 4 KiB page touched.
+    pub page_fault_per_page: Dur,
+    /// Extra per-page cost to propagate PTE updates through the hypervisor
+    /// (paravirtualised guests only).
+    pub pte_propagate_per_page: Dur,
+}
+
+impl EnvOverheads {
+    /// A unikernel pays none of these.
+    pub fn unikernel() -> EnvOverheads {
+        EnvOverheads::default()
+    }
+
+    /// A native Linux process: syscalls plus demand-paging faults.
+    pub fn linux_native(costs: &CostTable) -> EnvOverheads {
+        EnvOverheads {
+            grow_syscall: costs.syscall,
+            page_fault_per_page: Dur::nanos(costs.syscall.as_nanos() / 2),
+            pte_propagate_per_page: Dur::ZERO,
+        }
+    }
+
+    /// A paravirtualised Linux process: native costs plus hypervisor PTE
+    /// propagation.
+    pub fn linux_pv(costs: &CostTable) -> EnvOverheads {
+        let mut o = Self::linux_native(costs);
+        o.pte_propagate_per_page = costs.pte_update;
+        o
+    }
+}
+
+/// Counters exposed for the experiment harnesses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct GcStats {
+    /// Objects allocated.
+    pub allocs: u64,
+    /// Minor collections run.
+    pub minor_collections: u64,
+    /// Heap growth operations.
+    pub grows: u64,
+    /// 2 MiB chunks currently backing the major heap.
+    pub major_chunks: u64,
+    /// Total virtual time spent in allocation + collection.
+    pub gc_time: Dur,
+}
+
+/// Average boxed-object size assumed by the model (a closure + a timer
+/// record per lightweight thread lands around here).
+pub const OBJ_BYTES: u64 = 48;
+
+/// The two-generation GC heap cost model.
+#[derive(Debug, Clone)]
+pub struct GcHeap {
+    backing: HeapBacking,
+    overheads: EnvOverheads,
+    minor_capacity: u64,
+    minor_used: u64,
+    minor_survivors: u64,
+    major_used: u64,
+    major_capacity: u64,
+    region_limit: u64,
+    stats: GcStats,
+}
+
+impl GcHeap {
+    /// A heap with the standard 2 MiB minor generation and a major region
+    /// limited to `region_limit` bytes.
+    pub fn new(backing: HeapBacking, overheads: EnvOverheads, region_limit: u64) -> GcHeap {
+        GcHeap {
+            backing,
+            overheads,
+            minor_capacity: crate::layout::MINOR_HEAP_BYTES,
+            minor_used: 0,
+            minor_survivors: 0,
+            major_used: 0,
+            major_capacity: 0,
+            region_limit,
+            stats: GcStats::default(),
+        }
+    }
+
+    /// Allocates `bytes` on the minor heap; `long_lived` values survive the
+    /// next minor collection and are promoted.
+    ///
+    /// Returns the virtual-time cost of the allocation including any
+    /// collection it triggered.
+    pub fn alloc(&mut self, bytes: u64, long_lived: bool, costs: &CostTable) -> Dur {
+        let mut cost = costs.gc_alloc;
+        self.stats.allocs += 1;
+        self.minor_used += bytes;
+        if long_lived {
+            self.minor_survivors += bytes;
+        }
+        if self.minor_used >= self.minor_capacity {
+            cost += self.minor_collection(costs);
+        }
+        self.stats.gc_time += cost;
+        cost
+    }
+
+    /// Runs a minor collection: scans survivors, promotes them to the
+    /// major heap, grows the major heap if needed.
+    pub fn minor_collection(&mut self, costs: &CostTable) -> Dur {
+        self.stats.minor_collections += 1;
+        let survivor_objs = self.minor_survivors / OBJ_BYTES;
+        let mut cost = costs.gc_scan_per_obj * survivor_objs + costs.copy(self.minor_survivors as usize);
+        if self.backing == HeapBacking::Malloc {
+            // The userspace GC re-walks its chunk page table every cycle.
+            cost += costs.gc_scan_per_obj * (self.stats.major_chunks * 8);
+        }
+        self.major_used += self.minor_survivors;
+        self.minor_survivors = 0;
+        self.minor_used = 0;
+        if self.major_used > self.major_capacity {
+            cost += self.grow_major(costs);
+        }
+        cost
+    }
+
+    fn grow_major(&mut self, costs: &CostTable) -> Dur {
+        let deficit = self.major_used - self.major_capacity;
+        let chunks = deficit.div_ceil(CHUNK_SIZE);
+        let new_capacity = (self.major_capacity + chunks * CHUNK_SIZE).min(self.region_limit);
+        let grown = new_capacity.saturating_sub(self.major_capacity);
+        let chunks = grown / CHUNK_SIZE;
+        if chunks == 0 {
+            // Region exhausted: model a full major collection instead.
+            let live_objs = self.major_used / OBJ_BYTES;
+            return costs.gc_scan_per_obj * live_objs * 2;
+        }
+        self.stats.grows += 1;
+        self.stats.major_chunks += chunks;
+        self.major_capacity = new_capacity;
+
+        let pages_per_chunk = CHUNK_SIZE / crate::layout::PAGE_SIZE_BYTES as u64;
+        let mut cost = self.overheads.grow_syscall;
+        cost += match self.backing {
+            // One superpage mapping per chunk.
+            HeapBacking::Extent => costs.pte_update * chunks,
+            // 512 x 4 KiB mappings per chunk plus allocator bookkeeping.
+            HeapBacking::Malloc => {
+                costs.pte_update * (chunks * pages_per_chunk) + costs.malloc * chunks
+            }
+        };
+        let pages = chunks * pages_per_chunk;
+        cost += self.overheads.page_fault_per_page * pages;
+        cost += self.overheads.pte_propagate_per_page * pages;
+        cost
+    }
+
+    /// Releases `bytes` of long-lived data (e.g. completed threads).
+    pub fn release(&mut self, bytes: u64) {
+        self.major_used = self.major_used.saturating_sub(bytes);
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> GcStats {
+        self.stats
+    }
+
+    /// Bytes currently promoted to the major heap.
+    pub fn major_used(&self) -> u64 {
+        self.major_used
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn costs() -> CostTable {
+        CostTable::defaults()
+    }
+
+    fn churn(heap: &mut GcHeap, objs: u64, long_lived: bool) -> Dur {
+        let costs = costs();
+        let mut total = Dur::ZERO;
+        for _ in 0..objs {
+            total += heap.alloc(OBJ_BYTES, long_lived, &costs);
+        }
+        total
+    }
+
+    const REGION: u64 = 1 << 32; // 4 GiB
+
+    #[test]
+    fn short_lived_allocation_is_nearly_free() {
+        let mut heap = GcHeap::new(HeapBacking::Extent, EnvOverheads::unikernel(), REGION);
+        let temp = churn(&mut heap, 200_000, false);
+        let mut heap2 = GcHeap::new(HeapBacking::Extent, EnvOverheads::unikernel(), REGION);
+        let live = churn(&mut heap2, 200_000, true);
+        assert!(
+            temp < live,
+            "promoting survivors costs more than discarding garbage"
+        );
+        assert_eq!(heap.major_used(), 0);
+        assert!(heap2.major_used() > 0);
+    }
+
+    #[test]
+    fn extent_backing_beats_malloc_backing() {
+        // The Figure-7a ablation: same workload, different backing.
+        let objs = 2_000_000;
+        let mut extent = GcHeap::new(HeapBacking::Extent, EnvOverheads::unikernel(), REGION);
+        let mut malloc = GcHeap::new(HeapBacking::Malloc, EnvOverheads::unikernel(), REGION);
+        let t_extent = churn(&mut extent, objs, true);
+        let t_malloc = churn(&mut malloc, objs, true);
+        assert!(
+            t_extent < t_malloc,
+            "superpage extents avoid per-4KiB PTE work: {t_extent} vs {t_malloc}"
+        );
+    }
+
+    #[test]
+    fn hosted_targets_pay_more_than_unikernel() {
+        let objs = 2_000_000;
+        let c = costs();
+        let mut xen = GcHeap::new(HeapBacking::Extent, EnvOverheads::unikernel(), REGION);
+        let mut native = GcHeap::new(HeapBacking::Malloc, EnvOverheads::linux_native(&c), REGION);
+        let mut pv = GcHeap::new(HeapBacking::Malloc, EnvOverheads::linux_pv(&c), REGION);
+        let t_xen = churn(&mut xen, objs, true);
+        let t_native = churn(&mut native, objs, true);
+        let t_pv = churn(&mut pv, objs, true);
+        assert!(t_xen < t_native, "unikernel < linux-native");
+        assert!(t_native < t_pv, "linux-native < linux-pv (Figure 7a order)");
+    }
+
+    #[test]
+    fn minor_collections_trigger_at_capacity() {
+        let mut heap = GcHeap::new(HeapBacking::Extent, EnvOverheads::unikernel(), REGION);
+        let per_minor = crate::layout::MINOR_HEAP_BYTES / OBJ_BYTES;
+        churn(&mut heap, per_minor + 1, false);
+        assert_eq!(heap.stats().minor_collections, 1);
+    }
+
+    #[test]
+    fn region_exhaustion_degrades_to_major_collection_not_panic() {
+        let tiny = 4 * CHUNK_SIZE;
+        let mut heap = GcHeap::new(HeapBacking::Extent, EnvOverheads::unikernel(), tiny);
+        churn(&mut heap, 1_000_000, true);
+        assert!(heap.stats().major_chunks <= 4);
+    }
+
+    #[test]
+    fn release_shrinks_major_usage() {
+        let mut heap = GcHeap::new(HeapBacking::Extent, EnvOverheads::unikernel(), REGION);
+        churn(&mut heap, 100_000, true);
+        let used = heap.major_used();
+        heap.release(used / 2);
+        assert_eq!(heap.major_used(), used - used / 2);
+    }
+}

@@ -1,0 +1,318 @@
+//! Asynchronous channels and notification primitives.
+//!
+//! Mirage structures its stacks as lightweight threads connected by typed
+//! streams (the "channel iteratees" of §3.5). This module provides the
+//! plumbing: an unbounded MPSC channel, a oneshot cell (used by join
+//! handles), and a [`Notify`] edge-trigger that the synchronous device
+//! service code uses to wake protocol tasks.
+
+use std::collections::VecDeque;
+use std::future::Future;
+use std::pin::Pin;
+use std::sync::Arc;
+use std::task::{Context, Poll, Waker};
+
+use parking_lot::Mutex;
+
+/// Error returned by [`Receiver::recv`] when every sender is gone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Closed;
+
+impl std::fmt::Display for Closed {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("channel is closed")
+    }
+}
+
+impl std::error::Error for Closed {}
+
+struct ChanState<T> {
+    queue: VecDeque<T>,
+    recv_waker: Option<Waker>,
+    senders: usize,
+    receiver_alive: bool,
+}
+
+/// The sending half of an unbounded channel.
+pub struct Sender<T> {
+    state: Arc<Mutex<ChanState<T>>>,
+}
+
+impl<T> std::fmt::Debug for Sender<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("Sender")
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.state.lock().senders += 1;
+        Sender {
+            state: Arc::clone(&self.state),
+        }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let mut st = self.state.lock();
+        st.senders -= 1;
+        if st.senders == 0 {
+            if let Some(w) = st.recv_waker.take() {
+                w.wake();
+            }
+        }
+    }
+}
+
+impl<T> Sender<T> {
+    /// Enqueues `value`, waking the receiver. Usable from both async tasks
+    /// and the synchronous device-service path.
+    ///
+    /// # Errors
+    ///
+    /// Returns the value back if the receiver has been dropped.
+    pub fn send(&self, value: T) -> Result<(), T> {
+        let mut st = self.state.lock();
+        if !st.receiver_alive {
+            return Err(value);
+        }
+        st.queue.push_back(value);
+        if let Some(w) = st.recv_waker.take() {
+            w.wake();
+        }
+        Ok(())
+    }
+
+    /// Number of queued items (backpressure signal).
+    pub fn queued(&self) -> usize {
+        self.state.lock().queue.len()
+    }
+}
+
+/// The receiving half of an unbounded channel.
+pub struct Receiver<T> {
+    state: Arc<Mutex<ChanState<T>>>,
+}
+
+impl<T> std::fmt::Debug for Receiver<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("Receiver")
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        self.state.lock().receiver_alive = false;
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Awaits the next value.
+    ///
+    /// # Errors
+    ///
+    /// [`Closed`] once the queue is drained and all senders are dropped.
+    pub fn recv(&mut self) -> Recv<'_, T> {
+        Recv { rx: self }
+    }
+
+    /// Non-blocking pop (for the synchronous device path).
+    pub fn try_recv(&mut self) -> Option<T> {
+        self.state.lock().queue.pop_front()
+    }
+
+    /// Items currently queued.
+    pub fn len(&self) -> usize {
+        self.state.lock().queue.len()
+    }
+
+    /// Whether the queue is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Future returned by [`Receiver::recv`].
+pub struct Recv<'a, T> {
+    rx: &'a mut Receiver<T>,
+}
+
+impl<T> std::fmt::Debug for Recv<'_, T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("Recv")
+    }
+}
+
+impl<T> Future for Recv<'_, T> {
+    type Output = Result<T, Closed>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let mut st = self.rx.state.lock();
+        if let Some(v) = st.queue.pop_front() {
+            return Poll::Ready(Ok(v));
+        }
+        if st.senders == 0 {
+            return Poll::Ready(Err(Closed));
+        }
+        st.recv_waker = Some(cx.waker().clone());
+        Poll::Pending
+    }
+}
+
+/// Creates an unbounded MPSC channel.
+pub fn channel<T>() -> (Sender<T>, Receiver<T>) {
+    let state = Arc::new(Mutex::new(ChanState {
+        queue: VecDeque::new(),
+        recv_waker: None,
+        senders: 1,
+        receiver_alive: true,
+    }));
+    (
+        Sender {
+            state: Arc::clone(&state),
+        },
+        Receiver { state },
+    )
+}
+
+// ---------------------------------------------------------------------------
+
+struct NotifyState {
+    pending: u64,
+    wakers: Vec<Waker>,
+}
+
+/// An edge-triggered wakeup: callers `await` [`Notify::notified`]; the
+/// device-service path calls [`Notify::notify_one`]/[`Notify::notify_all`].
+/// Notifications are counted, so a notify with no waiter is not lost.
+#[derive(Clone)]
+pub struct Notify {
+    state: Arc<Mutex<NotifyState>>,
+}
+
+impl std::fmt::Debug for Notify {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Notify(pending={})", self.state.lock().pending)
+    }
+}
+
+impl Default for Notify {
+    fn default() -> Self {
+        Notify::new()
+    }
+}
+
+impl Notify {
+    /// A fresh notifier with no pending signals.
+    pub fn new() -> Notify {
+        Notify {
+            state: Arc::new(Mutex::new(NotifyState {
+                pending: 0,
+                wakers: Vec::new(),
+            })),
+        }
+    }
+
+    /// Signals one pending notification.
+    pub fn notify_one(&self) {
+        let mut st = self.state.lock();
+        st.pending += 1;
+        if let Some(w) = st.wakers.pop() {
+            w.wake();
+        }
+    }
+
+    /// Wakes every current waiter (they each consume one signal; extra
+    /// signals accumulate).
+    pub fn notify_all(&self) {
+        let mut st = self.state.lock();
+        let waiters = st.wakers.len().max(1) as u64;
+        st.pending += waiters;
+        for w in st.wakers.drain(..) {
+            w.wake();
+        }
+    }
+
+    /// Awaits the next notification.
+    pub fn notified(&self) -> Notified {
+        Notified {
+            state: Arc::clone(&self.state),
+        }
+    }
+}
+
+/// Future returned by [`Notify::notified`].
+pub struct Notified {
+    state: Arc<Mutex<NotifyState>>,
+}
+
+impl std::fmt::Debug for Notified {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("Notified")
+    }
+}
+
+impl Future for Notified {
+    type Output = ();
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let mut st = self.state.lock();
+        if st.pending > 0 {
+            st.pending -= 1;
+            Poll::Ready(())
+        } else {
+            st.wakers.push(cx.waker().clone());
+            Poll::Pending
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+
+pub(crate) struct OneshotState<T> {
+    pub(crate) value: Option<T>,
+    pub(crate) waker: Option<Waker>,
+    pub(crate) done: bool,
+}
+
+/// The awaitable result of a spawned task — see
+/// [`Runtime::spawn`](crate::Runtime::spawn).
+pub struct JoinHandle<T> {
+    pub(crate) state: Arc<Mutex<OneshotState<T>>>,
+}
+
+impl<T> std::fmt::Debug for JoinHandle<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("JoinHandle")
+    }
+}
+
+impl<T> JoinHandle<T> {
+    /// Whether the task has completed.
+    pub fn is_done(&self) -> bool {
+        self.state.lock().done
+    }
+
+    /// Takes the result if the task has completed (non-blocking).
+    pub fn try_take(&self) -> Option<T> {
+        self.state.lock().value.take()
+    }
+}
+
+impl<T> Future for JoinHandle<T> {
+    type Output = T;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let mut st = self.state.lock();
+        if let Some(v) = st.value.take() {
+            return Poll::Ready(v);
+        }
+        assert!(
+            !st.done,
+            "JoinHandle polled after the result was already taken"
+        );
+        st.waker = Some(cx.waker().clone());
+        Poll::Pending
+    }
+}

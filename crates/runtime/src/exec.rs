@@ -1,0 +1,269 @@
+//! The cooperative task executor — Mirage's Lwt analogue (paper §3.3).
+//!
+//! "Written in pure OCaml, Lwt threads are heap-allocated values, with only
+//! the thread main loop requiring a C binding to poll for external events."
+//! Here, lightweight threads are plain Rust `Future`s polled by a
+//! single-threaded executor; "the VM is thus either executing OCaml code or
+//! blocked, with no internal preemption or asynchronous interrupts."
+//!
+//! Every poll charges [`CostTable::thread_switch`] to virtual time, and
+//! thread construction can optionally be charged against a
+//! [`GcHeap`](mirage_pvboot::heap::GcHeap) model — this is how the Figure 7
+//! thread benchmarks account for garbage-collector pressure.
+
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::future::Future;
+use std::pin::Pin;
+use std::sync::Arc;
+use std::task::{Context, Poll, Waker};
+
+use parking_lot::Mutex;
+
+use mirage_hypervisor::{Dur, Time};
+use mirage_pvboot::heap::GcHeap;
+
+pub(crate) type TaskId = u64;
+
+type BoxFuture = Pin<Box<dyn Future<Output = ()> + Send + 'static>>;
+
+struct TimerEntry {
+    at: Time,
+    seq: u64,
+    waker: Waker,
+}
+
+impl PartialEq for TimerEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for TimerEntry {}
+impl PartialOrd for TimerEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for TimerEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the earliest deadline.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+struct TaskEntry {
+    fut: Option<BoxFuture>,
+    queued: bool,
+}
+
+pub(crate) struct Core {
+    pub(crate) now: Time,
+    /// Virtual time charged by tasks since the driver last drained it.
+    pub(crate) charge: Dur,
+    run_queue: VecDeque<TaskId>,
+    tasks: HashMap<TaskId, TaskEntry>,
+    timers: BinaryHeap<TimerEntry>,
+    next_task: TaskId,
+    next_timer_seq: u64,
+    pub(crate) spawned_total: u64,
+    pub(crate) heap: Option<GcHeap>,
+}
+
+impl Core {
+    fn new() -> Core {
+        Core {
+            now: Time::ZERO,
+            charge: Dur::ZERO,
+            run_queue: VecDeque::new(),
+            tasks: HashMap::new(),
+            timers: BinaryHeap::new(),
+            next_task: 0,
+            next_timer_seq: 0,
+            spawned_total: 0,
+            heap: None,
+        }
+    }
+}
+
+/// Shared handle to the executor core.
+#[derive(Clone)]
+pub(crate) struct CoreHandle(pub(crate) Arc<Mutex<Core>>);
+
+struct TaskWaker {
+    id: TaskId,
+    core: std::sync::Weak<Mutex<Core>>,
+}
+
+impl std::task::Wake for TaskWaker {
+    fn wake(self: Arc<Self>) {
+        if let Some(core) = self.core.upgrade() {
+            let mut core = core.lock();
+            if let Some(entry) = core.tasks.get_mut(&self.id) {
+                if !entry.queued {
+                    entry.queued = true;
+                    core.run_queue.push_back(self.id);
+                }
+            }
+        }
+    }
+}
+
+/// Report from one executor drain (the state `domainpoll` needs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StallReport {
+    /// Earliest pending timer, if any.
+    pub next_deadline: Option<Time>,
+    /// Tasks still alive (runnable or blocked).
+    pub live_tasks: usize,
+    /// Futures polled during this drain.
+    pub polls: u64,
+}
+
+impl CoreHandle {
+    pub(crate) fn new() -> CoreHandle {
+        CoreHandle(Arc::new(Mutex::new(Core::new())))
+    }
+
+    pub(crate) fn spawn(&self, fut: BoxFuture) -> TaskId {
+        let mut core = self.0.lock();
+        let id = core.next_task;
+        core.next_task += 1;
+        core.spawned_total += 1;
+        core.tasks.insert(
+            id,
+            TaskEntry {
+                fut: Some(fut),
+                queued: true,
+            },
+        );
+        core.run_queue.push_back(id);
+        id
+    }
+
+    pub(crate) fn register_timer(&self, at: Time, waker: Waker) {
+        let mut core = self.0.lock();
+        let seq = core.next_timer_seq;
+        core.next_timer_seq += 1;
+        core.timers.push(TimerEntry { at, seq, waker });
+    }
+
+    pub(crate) fn now(&self) -> Time {
+        self.0.lock().now
+    }
+
+    pub(crate) fn charge(&self, d: Dur) {
+        self.0.lock().charge += d;
+    }
+
+    /// Charges a heap allocation against the GC model, if one is attached.
+    pub(crate) fn heap_alloc(&self, bytes: u64, long_lived: bool, costs: &mirage_hypervisor::CostTable) {
+        let mut core = self.0.lock();
+        if let Some(heap) = core.heap.as_mut() {
+            let cost = heap.alloc(bytes, long_lived, costs);
+            core.charge += cost;
+        }
+    }
+
+    fn fire_expired_timers(&self, now: Time) -> bool {
+        let mut fired = Vec::new();
+        {
+            let mut core = self.0.lock();
+            while core
+                .timers
+                .peek()
+                .map(|t| t.at <= now)
+                .unwrap_or(false)
+            {
+                fired.push(core.timers.pop().expect("peeked"));
+            }
+        }
+        let any = !fired.is_empty();
+        for t in fired {
+            t.waker.wake();
+        }
+        any
+    }
+
+    /// Polls runnable tasks until none remain and no timer has expired.
+    ///
+    /// `now_fn` reports virtual time as a function of the charge accumulated
+    /// so far, so CPU-bound work delays timer firing exactly as it would on
+    /// a single vCPU.
+    pub(crate) fn run_until_stalled(
+        &self,
+        start: Time,
+        thread_switch: Dur,
+        mut drain_charge: impl FnMut(Dur) -> Time,
+    ) -> StallReport {
+        let mut polls = 0u64;
+        loop {
+            // Advance the executor's notion of time, then fire timers.
+            let pending_charge = {
+                let mut core = self.0.lock();
+                std::mem::replace(&mut core.charge, Dur::ZERO)
+            };
+            let now = drain_charge(pending_charge);
+            {
+                self.0.lock().now = now;
+            }
+            let fired = self.fire_expired_timers(now);
+
+            let next = {
+                let mut core = self.0.lock();
+                core.run_queue.pop_front()
+            };
+            let Some(id) = next else {
+                if fired {
+                    continue;
+                }
+                break;
+            };
+
+            // Take the future out so polling happens without the core lock.
+            let fut = {
+                let mut core = self.0.lock();
+                match core.tasks.get_mut(&id) {
+                    Some(entry) => {
+                        entry.queued = false;
+                        entry.fut.take()
+                    }
+                    None => None,
+                }
+            };
+            let Some(mut fut) = fut else { continue };
+
+            let waker = Waker::from(Arc::new(TaskWaker {
+                id,
+                core: Arc::downgrade(&self.0),
+            }));
+            let mut cx = Context::from_waker(&waker);
+            polls += 1;
+            self.charge(thread_switch);
+            match fut.as_mut().poll(&mut cx) {
+                Poll::Ready(()) => {
+                    let mut core = self.0.lock();
+                    core.tasks.remove(&id);
+                }
+                Poll::Pending => {
+                    let mut core = self.0.lock();
+                    if let Some(entry) = core.tasks.get_mut(&id) {
+                        entry.fut = Some(fut);
+                    }
+                }
+            }
+        }
+        let _ = start;
+        let core = self.0.lock();
+        StallReport {
+            next_deadline: core.timers.peek().map(|t| t.at),
+            live_tasks: core.tasks.len(),
+            polls,
+        }
+    }
+
+    pub(crate) fn live_tasks(&self) -> usize {
+        self.0.lock().tasks.len()
+    }
+}

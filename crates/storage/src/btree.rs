@@ -1,0 +1,871 @@
+//! An append-only, copy-on-write B-tree — the "third-party copy-on-write
+//! binary tree storage library" (Baardskeerder) the paper ported to Mirage
+//! (§3.5.2) and used as the tweet store in the Figure 12 dynamic web
+//! appliance.
+//!
+//! Every mutation copies the root-to-leaf path and appends the new nodes to
+//! a log, finishing with a checksummed **commit record** pointing at the
+//! new root. Crash recovery is a sequential scan: the last valid commit
+//! wins, and a torn trailing write simply rolls back to the previous
+//! commit. Reads are wait-free against concurrent writers because old
+//! roots are immutable.
+//!
+//! Deletion removes keys without rebalancing (nodes may underflow); this
+//! matches the log-structured design where space is reclaimed by
+//! compaction ([`Tree::compact`]) rather than in-place merging.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::block::{BlockError, BlockIo, BoxFuture};
+
+/// Maximum keys per node before splitting.
+const MAX_KEYS: usize = 16;
+
+const TAG_LEAF: u8 = 1;
+const TAG_NODE: u8 = 2;
+const TAG_COMMIT: u8 = 3;
+
+/// Errors from tree operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TreeError {
+    /// Log device failure.
+    Io(BlockError),
+    /// A referenced record failed validation.
+    Corrupt,
+}
+
+impl std::fmt::Display for TreeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TreeError::Io(e) => write!(f, "log i/o failure: {e}"),
+            TreeError::Corrupt => f.write_str("tree record failed validation"),
+        }
+    }
+}
+
+impl std::error::Error for TreeError {}
+
+impl From<BlockError> for TreeError {
+    fn from(e: BlockError) -> TreeError {
+        TreeError::Io(e)
+    }
+}
+
+/// CRC-32 (IEEE), bitwise implementation — guards every log record.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in data {
+        crc ^= b as u32;
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+// ---------------------------------------------------------------------------
+
+/// An append-only byte log.
+pub trait AppendLog: Send + Sync {
+    /// Appends `data`, returning its byte offset.
+    fn append(&self, data: Vec<u8>) -> BoxFuture<Result<u64, BlockError>>;
+
+    /// Reads `len` bytes at `offset`.
+    fn read_at(&self, offset: u64, len: usize) -> BoxFuture<Result<Vec<u8>, BlockError>>;
+
+    /// Current end-of-log offset.
+    fn tail(&self) -> u64;
+
+    /// Truncates the log to `len` bytes (fault injection / compaction).
+    fn truncate(&self, len: u64);
+}
+
+/// An in-memory log (tests and RAM-backed appliances).
+#[derive(Clone, Default)]
+pub struct MemLog {
+    data: Arc<Mutex<Vec<u8>>>,
+}
+
+impl std::fmt::Debug for MemLog {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "MemLog({} bytes)", self.data.lock().len())
+    }
+}
+
+impl MemLog {
+    /// An empty log.
+    pub fn new() -> MemLog {
+        MemLog::default()
+    }
+}
+
+impl AppendLog for MemLog {
+    fn append(&self, data: Vec<u8>) -> BoxFuture<Result<u64, BlockError>> {
+        let log = self.data.clone();
+        Box::pin(async move {
+            let mut log = log.lock();
+            let off = log.len() as u64;
+            log.extend(data);
+            Ok(off)
+        })
+    }
+
+    fn read_at(&self, offset: u64, len: usize) -> BoxFuture<Result<Vec<u8>, BlockError>> {
+        let log = self.data.clone();
+        Box::pin(async move {
+            let log = log.lock();
+            let start = offset as usize;
+            if start + len > log.len() {
+                return Err(BlockError::OutOfRange);
+            }
+            Ok(log[start..start + len].to_vec())
+        })
+    }
+
+    fn tail(&self) -> u64 {
+        self.data.lock().len() as u64
+    }
+
+    fn truncate(&self, len: u64) {
+        self.data.lock().truncate(len as usize);
+    }
+}
+
+/// A log over a [`BlockIo`] device (sector read-modify-write at the tail).
+pub struct BlockLog<B> {
+    dev: Arc<B>,
+    len: Arc<Mutex<u64>>,
+}
+
+impl<B> Clone for BlockLog<B> {
+    fn clone(&self) -> Self {
+        BlockLog {
+            dev: Arc::clone(&self.dev),
+            len: Arc::clone(&self.len),
+        }
+    }
+}
+
+impl<B: BlockIo> std::fmt::Debug for BlockLog<B> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "BlockLog({} bytes)", *self.len.lock())
+    }
+}
+
+const SECTOR: usize = mirage_devices::blk::SECTOR_SIZE;
+
+impl<B: BlockIo + 'static> BlockLog<B> {
+    /// A fresh log over `dev` starting at length `len` (0 for new; pass a
+    /// recovered length when remounting).
+    pub fn new(dev: B, len: u64) -> BlockLog<B> {
+        BlockLog {
+            dev: Arc::new(dev),
+            len: Arc::new(Mutex::new(len)),
+        }
+    }
+}
+
+impl<B: BlockIo + 'static> AppendLog for BlockLog<B> {
+    fn append(&self, data: Vec<u8>) -> BoxFuture<Result<u64, BlockError>> {
+        let dev = Arc::clone(&self.dev);
+        let len = Arc::clone(&self.len);
+        Box::pin(async move {
+            let offset = *len.lock();
+            let start_sector = offset / SECTOR as u64;
+            let end = offset + data.len() as u64;
+            let end_sector = end.div_ceil(SECTOR as u64);
+            let span = (end_sector - start_sector) as u32;
+            // Read-modify-write the covering sectors.
+            let mut buf = dev.read(start_sector, span).await?;
+            let within = (offset % SECTOR as u64) as usize;
+            buf[within..within + data.len()].copy_from_slice(&data);
+            dev.write(start_sector, buf).await?;
+            *len.lock() = end;
+            Ok(offset)
+        })
+    }
+
+    fn read_at(&self, offset: u64, len: usize) -> BoxFuture<Result<Vec<u8>, BlockError>> {
+        let dev = Arc::clone(&self.dev);
+        let log_len = *self.len.lock();
+        Box::pin(async move {
+            if offset + len as u64 > log_len {
+                return Err(BlockError::OutOfRange);
+            }
+            let start_sector = offset / SECTOR as u64;
+            let end_sector = (offset + len as u64).div_ceil(SECTOR as u64);
+            let raw = dev
+                .read(start_sector, (end_sector - start_sector) as u32)
+                .await?;
+            let within = (offset % SECTOR as u64) as usize;
+            Ok(raw[within..within + len].to_vec())
+        })
+    }
+
+    fn tail(&self) -> u64 {
+        *self.len.lock()
+    }
+
+    fn truncate(&self, len: u64) {
+        let mut cur = self.len.lock();
+        if len < *cur {
+            *cur = len;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Node {
+    Leaf {
+        keys: Vec<Vec<u8>>,
+        vals: Vec<Vec<u8>>,
+    },
+    Internal {
+        seps: Vec<Vec<u8>>,
+        children: Vec<u64>,
+    },
+}
+
+fn put_bytes(out: &mut Vec<u8>, b: &[u8]) {
+    out.extend_from_slice(&(b.len() as u32).to_le_bytes());
+    out.extend_from_slice(b);
+}
+
+fn get_bytes(data: &[u8], pos: &mut usize) -> Option<Vec<u8>> {
+    let len = u32::from_le_bytes(data.get(*pos..*pos + 4)?.try_into().ok()?) as usize;
+    *pos += 4;
+    let out = data.get(*pos..*pos + len)?.to_vec();
+    *pos += len;
+    Some(out)
+}
+
+impl Node {
+    fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            Node::Leaf { keys, vals } => {
+                out.extend_from_slice(&(keys.len() as u16).to_le_bytes());
+                for (k, v) in keys.iter().zip(vals) {
+                    put_bytes(&mut out, k);
+                    put_bytes(&mut out, v);
+                }
+            }
+            Node::Internal { seps, children } => {
+                out.extend_from_slice(&(children.len() as u16).to_le_bytes());
+                for c in children {
+                    out.extend_from_slice(&c.to_le_bytes());
+                }
+                for s in seps {
+                    put_bytes(&mut out, s);
+                }
+            }
+        }
+        out
+    }
+
+    fn decode(tag: u8, data: &[u8]) -> Option<Node> {
+        let mut pos = 0usize;
+        let count = u16::from_le_bytes(data.get(0..2)?.try_into().ok()?) as usize;
+        pos += 2;
+        match tag {
+            TAG_LEAF => {
+                let mut keys = Vec::with_capacity(count);
+                let mut vals = Vec::with_capacity(count);
+                for _ in 0..count {
+                    keys.push(get_bytes(data, &mut pos)?);
+                    vals.push(get_bytes(data, &mut pos)?);
+                }
+                Some(Node::Leaf { keys, vals })
+            }
+            TAG_NODE => {
+                let mut children = Vec::with_capacity(count);
+                for _ in 0..count {
+                    children.push(u64::from_le_bytes(
+                        data.get(pos..pos + 8)?.try_into().ok()?,
+                    ));
+                    pos += 8;
+                }
+                let mut seps = Vec::with_capacity(count.saturating_sub(1));
+                for _ in 0..count.saturating_sub(1) {
+                    seps.push(get_bytes(data, &mut pos)?);
+                }
+                Some(Node::Internal { seps, children })
+            }
+            _ => None,
+        }
+    }
+
+    fn tag(&self) -> u8 {
+        match self {
+            Node::Leaf { .. } => TAG_LEAF,
+            Node::Internal { .. } => TAG_NODE,
+        }
+    }
+}
+
+/// Tree statistics (Figure 12 harness introspection).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TreeStats {
+    /// Committed mutations.
+    pub commits: u64,
+    /// Nodes written (copy-on-write traffic).
+    pub nodes_written: u64,
+    /// Log bytes at last commit.
+    pub log_bytes: u64,
+}
+
+/// The append-only B-tree over any [`AppendLog`].
+pub struct Tree<L> {
+    log: Arc<L>,
+    root: Arc<Mutex<Option<u64>>>,
+    generation: Arc<Mutex<u64>>,
+    stats: Arc<Mutex<TreeStats>>,
+}
+
+impl<L> Clone for Tree<L> {
+    fn clone(&self) -> Self {
+        Tree {
+            log: Arc::clone(&self.log),
+            root: Arc::clone(&self.root),
+            generation: Arc::clone(&self.generation),
+            stats: Arc::clone(&self.stats),
+        }
+    }
+}
+
+impl<L: AppendLog> std::fmt::Debug for Tree<L> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Tree(root={:?})", *self.root.lock())
+    }
+}
+
+fn record(tag: u8, payload: &[u8]) -> Vec<u8> {
+    let mut rec = Vec::with_capacity(9 + payload.len());
+    rec.push(tag);
+    rec.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    rec.extend_from_slice(payload);
+    rec.extend_from_slice(&crc32(&rec).to_le_bytes());
+    rec
+}
+
+impl<L: AppendLog + 'static> Tree<L> {
+    /// An empty tree over a fresh log.
+    pub fn new(log: L) -> Tree<L> {
+        Tree {
+            log: Arc::new(log),
+            root: Arc::new(Mutex::new(None)),
+            generation: Arc::new(Mutex::new(0)),
+            stats: Arc::new(Mutex::new(TreeStats::default())),
+        }
+    }
+
+    /// Recovers a tree from an existing log by scanning for the last valid
+    /// commit record; trailing torn writes are ignored.
+    ///
+    /// # Errors
+    ///
+    /// Device errors only — an empty or fully-torn log recovers to an
+    /// empty tree.
+    pub async fn recover(log: L) -> Result<Tree<L>, TreeError> {
+        let tree = Tree::new(log);
+        let tail = tree.log.tail();
+        let mut pos = 0u64;
+        let mut last_commit: Option<(u64, u64)> = None; // (root offset, generation)
+        while pos + 9 <= tail {
+            let header = tree.log.read_at(pos, 5).await?;
+            let tag = header[0];
+            let len = u32::from_le_bytes(header[1..5].try_into().expect("4 bytes")) as u64;
+            let total = 5 + len + 4;
+            if pos + total > tail || len > 1 << 24 {
+                break; // torn tail
+            }
+            let rec = tree.log.read_at(pos, total as usize).await?;
+            let body = &rec[..(5 + len) as usize];
+            let stored = u32::from_le_bytes(rec[(5 + len) as usize..].try_into().expect("4"));
+            if crc32(body) != stored {
+                break; // corrupt record: stop scanning
+            }
+            if tag == TAG_COMMIT && len == 16 {
+                let root = u64::from_le_bytes(rec[5..13].try_into().expect("8"));
+                let generation = u64::from_le_bytes(rec[13..21].try_into().expect("8"));
+                last_commit = Some((root, generation));
+            }
+            pos += total;
+        }
+        if let Some((root, generation)) = last_commit {
+            *tree.root.lock() = Some(root);
+            *tree.generation.lock() = generation;
+        }
+        Ok(tree)
+    }
+
+    async fn load(&self, offset: u64) -> Result<Node, TreeError> {
+        let header = self.log.read_at(offset, 5).await?;
+        let tag = header[0];
+        let len = u32::from_le_bytes(header[1..5].try_into().expect("4 bytes")) as usize;
+        let rec = self.log.read_at(offset, 5 + len + 4).await?;
+        let stored = u32::from_le_bytes(rec[5 + len..].try_into().expect("4"));
+        if crc32(&rec[..5 + len]) != stored {
+            return Err(TreeError::Corrupt);
+        }
+        Node::decode(tag, &rec[5..5 + len]).ok_or(TreeError::Corrupt)
+    }
+
+    async fn store(&self, node: &Node) -> Result<u64, TreeError> {
+        let payload = node.encode();
+        let rec = record(node.tag(), &payload);
+        self.stats.lock().nodes_written += 1;
+        Ok(self.log.append(rec).await?)
+    }
+
+    async fn commit(&self, root: u64) -> Result<(), TreeError> {
+        let generation = {
+            let mut g = self.generation.lock();
+            *g += 1;
+            *g
+        };
+        let mut payload = Vec::with_capacity(16);
+        payload.extend_from_slice(&root.to_le_bytes());
+        payload.extend_from_slice(&generation.to_le_bytes());
+        self.log.append(record(TAG_COMMIT, &payload)).await?;
+        *self.root.lock() = Some(root);
+        let mut st = self.stats.lock();
+        st.commits += 1;
+        st.log_bytes = self.log.tail();
+        Ok(())
+    }
+
+    /// Looks a key up.
+    ///
+    /// # Errors
+    ///
+    /// [`TreeError::Corrupt`] if a referenced record fails its checksum.
+    pub async fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>, TreeError> {
+        let Some(mut at) = *self.root.lock() else {
+            return Ok(None);
+        };
+        loop {
+            match self.load(at).await? {
+                Node::Leaf { keys, vals } => {
+                    return Ok(keys
+                        .iter()
+                        .position(|k| k.as_slice() == key)
+                        .map(|i| vals[i].clone()));
+                }
+                Node::Internal { seps, children } => {
+                    let idx = seps.iter().take_while(|s| key >= s.as_slice()).count();
+                    at = children[idx];
+                }
+            }
+        }
+    }
+
+    /// Inserts or replaces a key.
+    ///
+    /// # Errors
+    ///
+    /// Propagates log failures; the tree is unchanged if the commit record
+    /// never lands (crash atomicity).
+    pub async fn set(&self, key: &[u8], value: &[u8]) -> Result<(), TreeError> {
+        let root = *self.root.lock();
+        let new_root = match root {
+            None => {
+                let leaf = Node::Leaf {
+                    keys: vec![key.to_vec()],
+                    vals: vec![value.to_vec()],
+                };
+                self.store(&leaf).await?
+            }
+            Some(at) => match self.insert_rec(at, key, value).await? {
+                InsertResult::Single(off) => off,
+                InsertResult::Split(left, sep, right) => {
+                    self.store(&Node::Internal {
+                        seps: vec![sep],
+                        children: vec![left, right],
+                    })
+                    .await?
+                }
+            },
+        };
+        self.commit(new_root).await
+    }
+
+    fn insert_rec<'a>(
+        &'a self,
+        at: u64,
+        key: &'a [u8],
+        value: &'a [u8],
+    ) -> BoxFuture<Result<InsertResult, TreeError>>
+    where
+        L: 'static,
+    {
+        let this = self.clone();
+        let key = key.to_vec();
+        let value = value.to_vec();
+        Box::pin(async move {
+            match this.load(at).await? {
+                Node::Leaf { mut keys, mut vals } => {
+                    match keys.binary_search_by(|k| k.as_slice().cmp(&key[..])) {
+                        Ok(i) => vals[i] = value,
+                        Err(i) => {
+                            keys.insert(i, key);
+                            vals.insert(i, value);
+                        }
+                    }
+                    if keys.len() > MAX_KEYS {
+                        let mid = keys.len() / 2;
+                        let rkeys = keys.split_off(mid);
+                        let rvals = vals.split_off(mid);
+                        let sep = rkeys[0].clone();
+                        let left = this.store(&Node::Leaf { keys, vals }).await?;
+                        let right = this
+                            .store(&Node::Leaf {
+                                keys: rkeys,
+                                vals: rvals,
+                            })
+                            .await?;
+                        Ok(InsertResult::Split(left, sep, right))
+                    } else {
+                        Ok(InsertResult::Single(
+                            this.store(&Node::Leaf { keys, vals }).await?,
+                        ))
+                    }
+                }
+                Node::Internal {
+                    mut seps,
+                    mut children,
+                } => {
+                    let idx = seps.iter().take_while(|s| key >= **s).count();
+                    match this.insert_rec(children[idx], &key, &value).await? {
+                        InsertResult::Single(off) => children[idx] = off,
+                        InsertResult::Split(left, sep, right) => {
+                            children[idx] = left;
+                            children.insert(idx + 1, right);
+                            seps.insert(idx, sep);
+                        }
+                    }
+                    if children.len() > MAX_KEYS {
+                        let mid = children.len() / 2;
+                        let rchildren = children.split_off(mid);
+                        let rseps = seps.split_off(mid);
+                        let sep = seps.pop().expect("non-empty separators");
+                        let left = this.store(&Node::Internal { seps, children }).await?;
+                        let right = this
+                            .store(&Node::Internal {
+                                seps: rseps,
+                                children: rchildren,
+                            })
+                            .await?;
+                        Ok(InsertResult::Split(left, sep, right))
+                    } else {
+                        Ok(InsertResult::Single(
+                            this.store(&Node::Internal { seps, children }).await?,
+                        ))
+                    }
+                }
+            }
+        })
+    }
+
+    /// Removes a key (no-op if absent). Nodes may underflow by design.
+    ///
+    /// # Errors
+    ///
+    /// Propagates log failures.
+    pub async fn delete(&self, key: &[u8]) -> Result<bool, TreeError> {
+        let Some(root) = *self.root.lock() else {
+            return Ok(false);
+        };
+        let (new_root, removed) = self.delete_rec(root, key).await?;
+        if removed {
+            self.commit(new_root).await?;
+        }
+        Ok(removed)
+    }
+
+    fn delete_rec<'a>(
+        &'a self,
+        at: u64,
+        key: &'a [u8],
+    ) -> BoxFuture<Result<(u64, bool), TreeError>>
+    where
+        L: 'static,
+    {
+        let this = self.clone();
+        let key = key.to_vec();
+        Box::pin(async move {
+            match this.load(at).await? {
+                Node::Leaf { mut keys, mut vals } => {
+                    match keys.binary_search_by(|k| k.as_slice().cmp(&key[..])) {
+                        Ok(i) => {
+                            keys.remove(i);
+                            vals.remove(i);
+                            let off = this.store(&Node::Leaf { keys, vals }).await?;
+                            Ok((off, true))
+                        }
+                        Err(_) => Ok((at, false)),
+                    }
+                }
+                Node::Internal { seps, mut children } => {
+                    let idx = seps.iter().take_while(|s| key >= **s).count();
+                    let (child, removed) = this.delete_rec(children[idx], &key).await?;
+                    if !removed {
+                        return Ok((at, false));
+                    }
+                    children[idx] = child;
+                    let off = this.store(&Node::Internal { seps, children }).await?;
+                    Ok((off, true))
+                }
+            }
+        })
+    }
+
+    /// Every key/value pair in key order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates log failures.
+    pub async fn scan(&self) -> Result<Vec<(Vec<u8>, Vec<u8>)>, TreeError> {
+        let Some(root) = *self.root.lock() else {
+            return Ok(Vec::new());
+        };
+        let mut out = Vec::new();
+        let mut stack = vec![root];
+        // Depth-first, children pushed in reverse for in-order output.
+        while let Some(at) = stack.pop() {
+            match self.load(at).await? {
+                Node::Leaf { keys, vals } => {
+                    out.extend(keys.into_iter().zip(vals));
+                }
+                Node::Internal { children, .. } => {
+                    for c in children.into_iter().rev() {
+                        stack.push(c);
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Rewrites the live tree into `fresh_log`, dropping dead nodes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates log failures.
+    pub async fn compact<M: AppendLog + 'static>(&self, fresh_log: M) -> Result<Tree<M>, TreeError> {
+        let pairs = self.scan().await?;
+        let fresh = Tree::new(fresh_log);
+        for (k, v) in pairs {
+            fresh.set(&k, &v).await?;
+        }
+        Ok(fresh)
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> TreeStats {
+        *self.stats.lock()
+    }
+
+    /// Exposes the log for fault injection in tests.
+    pub fn log(&self) -> &L {
+        &self.log
+    }
+}
+
+enum InsertResult {
+    Single(u64),
+    Split(u64, Vec<u8>, u64),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::MemDisk;
+    use mirage_hypervisor::Hypervisor;
+    use mirage_runtime::{Runtime, UnikernelGuest};
+    use proptest::prelude::*;
+
+    fn run_case<F, Fut>(f: F)
+    where
+        F: FnOnce(Runtime) -> Fut + Send + 'static,
+        Fut: std::future::Future<Output = i64> + Send + 'static,
+    {
+        let guest = UnikernelGuest::new(move |_env, rt| {
+            let rt2 = rt.clone();
+            rt.spawn(async move { f(rt2).await })
+        });
+        let mut hv = Hypervisor::new();
+        let dom = hv.create_domain("btree", 64, Box::new(guest));
+        hv.run();
+        assert_eq!(hv.exit_code(dom), Some(0));
+    }
+
+    #[test]
+    fn crc32_known_vector() {
+        assert_eq!(crc32(b"123456789"), 0xCBF43926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn set_get_delete_basics() {
+        run_case(|_rt| async move {
+            let tree = Tree::new(MemLog::new());
+            assert_eq!(tree.get(b"a").await.unwrap(), None);
+            tree.set(b"a", b"1").await.unwrap();
+            tree.set(b"b", b"2").await.unwrap();
+            tree.set(b"a", b"updated").await.unwrap();
+            assert_eq!(tree.get(b"a").await.unwrap().as_deref(), Some(&b"updated"[..]));
+            assert_eq!(tree.get(b"b").await.unwrap().as_deref(), Some(&b"2"[..]));
+            assert!(tree.delete(b"a").await.unwrap());
+            assert!(!tree.delete(b"a").await.unwrap());
+            assert_eq!(tree.get(b"a").await.unwrap(), None);
+            0
+        });
+    }
+
+    #[test]
+    fn many_keys_force_splits_and_stay_sorted() {
+        run_case(|_rt| async move {
+            let tree = Tree::new(MemLog::new());
+            for i in (0..500u32).rev() {
+                tree.set(format!("key{i:05}").as_bytes(), &i.to_le_bytes())
+                    .await
+                    .unwrap();
+            }
+            for i in 0..500u32 {
+                assert_eq!(
+                    tree.get(format!("key{i:05}").as_bytes()).await.unwrap(),
+                    Some(i.to_le_bytes().to_vec())
+                );
+            }
+            let scan = tree.scan().await.unwrap();
+            assert_eq!(scan.len(), 500);
+            assert!(scan.windows(2).all(|w| w[0].0 < w[1].0), "in key order");
+            0
+        });
+    }
+
+    #[test]
+    fn recovery_finds_last_commit() {
+        run_case(|_rt| async move {
+            let log = MemLog::new();
+            {
+                let tree = Tree::new(log.clone());
+                tree.set(b"persist", b"yes").await.unwrap();
+                tree.set(b"more", b"data").await.unwrap();
+            }
+            let tree = Tree::recover(log).await.unwrap();
+            assert_eq!(tree.get(b"persist").await.unwrap().as_deref(), Some(&b"yes"[..]));
+            assert_eq!(tree.get(b"more").await.unwrap().as_deref(), Some(&b"data"[..]));
+            0
+        });
+    }
+
+    #[test]
+    fn torn_write_rolls_back_to_previous_commit() {
+        run_case(|_rt| async move {
+            let log = MemLog::new();
+            let len_after_first;
+            {
+                let tree = Tree::new(log.clone());
+                tree.set(b"committed", b"1").await.unwrap();
+                len_after_first = log.tail();
+                tree.set(b"torn", b"2").await.unwrap();
+            }
+            // Tear the second mutation in half.
+            log.truncate(len_after_first + 7);
+            let tree = Tree::recover(log).await.unwrap();
+            assert_eq!(
+                tree.get(b"committed").await.unwrap().as_deref(),
+                Some(&b"1"[..]),
+                "first commit survives"
+            );
+            assert_eq!(tree.get(b"torn").await.unwrap(), None, "torn write discarded");
+            // And the tree is still writable.
+            tree.set(b"after", b"3").await.unwrap();
+            assert_eq!(tree.get(b"after").await.unwrap().as_deref(), Some(&b"3"[..]));
+            0
+        });
+    }
+
+    #[test]
+    fn empty_log_recovers_to_empty_tree() {
+        run_case(|_rt| async move {
+            let tree = Tree::recover(MemLog::new()).await.unwrap();
+            assert_eq!(tree.get(b"x").await.unwrap(), None);
+            0
+        });
+    }
+
+    #[test]
+    fn compaction_shrinks_the_log() {
+        run_case(|_rt| async move {
+            let tree = Tree::new(MemLog::new());
+            for i in 0..100u32 {
+                tree.set(b"hot", &i.to_le_bytes()).await.unwrap();
+            }
+            let before = tree.log().tail();
+            let compacted = tree.compact(MemLog::new()).await.unwrap();
+            assert!(compacted.log().tail() < before / 10, "dead versions dropped");
+            assert_eq!(
+                compacted.get(b"hot").await.unwrap(),
+                Some(99u32.to_le_bytes().to_vec())
+            );
+            0
+        });
+    }
+
+    #[test]
+    fn works_over_a_block_log() {
+        run_case(|_rt| async move {
+            let tree = Tree::new(BlockLog::new(MemDisk::new(4096), 0));
+            for i in 0..64u32 {
+                tree.set(format!("k{i}").as_bytes(), format!("v{i}").as_bytes())
+                    .await
+                    .unwrap();
+            }
+            assert_eq!(tree.get(b"k42").await.unwrap(), Some(b"v42".to_vec()));
+            0
+        });
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        /// The tree agrees with a BTreeMap model under random workloads.
+        #[test]
+        fn prop_model_check(ops in proptest::collection::vec(
+            (0u8..3, 0u16..64, proptest::collection::vec(any::<u8>(), 0..8)),
+            1..120,
+        )) {
+            run_case(move |_rt| async move {
+                let tree = Tree::new(MemLog::new());
+                let mut model = std::collections::BTreeMap::new();
+                for (op, keyid, val) in ops {
+                    let key = format!("key{keyid}").into_bytes();
+                    match op {
+                        0 => {
+                            tree.set(&key, &val).await.unwrap();
+                            model.insert(key, val);
+                        }
+                        1 => {
+                            assert_eq!(tree.get(&key).await.unwrap(), model.get(&key).cloned());
+                        }
+                        _ => {
+                            assert_eq!(tree.delete(&key).await.unwrap(), model.remove(&key).is_some());
+                        }
+                    }
+                }
+                let scan = tree.scan().await.unwrap();
+                let expect: Vec<(Vec<u8>, Vec<u8>)> =
+                    model.into_iter().collect();
+                assert_eq!(scan, expect);
+                0
+            });
+        }
+    }
+}

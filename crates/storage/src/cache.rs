@@ -1,0 +1,308 @@
+//! Caching policies as libraries (paper §3.5.2, Figure 9).
+//!
+//! "Traditional OS kernels layer filesystems over block devices … and
+//! coalesce writes into a kernel buffer cache. … In contrast, Mirage …
+//! gives control to the application over caching policy … Different
+//! caching policies can be provided as libraries (OCaml modules) to be
+//! linked at build time."
+//!
+//! [`BufferCache`] reproduces the *conventional* kernel policy for the
+//! Figure 9 comparison: reads pass through an LRU page cache and pay a
+//! per-page management cost (lookup, locking, LRU maintenance, and the
+//! copy out of the cache) on every access. The paper measured that policy
+//! plateauing around 300 MB/s against 1.6 GB/s for direct I/O on the same
+//! device; [`BufferCache::PER_PAGE_OVERHEAD`] is calibrated to that
+//! published plateau and documented as such.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use mirage_devices::blk::SECTOR_SIZE;
+use mirage_hypervisor::Dur;
+use mirage_runtime::Runtime;
+
+use crate::block::{BlockError, BlockIo, BoxFuture};
+
+/// Sectors per cache page.
+const SECTORS_PER_PAGE: u64 = 8;
+
+/// Cache counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Page-cache hits.
+    pub hits: u64,
+    /// Page-cache misses (device reads).
+    pub misses: u64,
+    /// Pages evicted.
+    pub evictions: u64,
+}
+
+struct CacheInner {
+    pages: HashMap<u64, Vec<u8>>,
+    lru: Vec<u64>,
+    capacity_pages: usize,
+    stats: CacheStats,
+}
+
+/// A write-through LRU buffer cache wrapping any [`BlockIo`] — the
+/// conventional-kernel storage path of Figure 9.
+pub struct BufferCache<B> {
+    dev: Arc<B>,
+    rt: Runtime,
+    inner: Arc<Mutex<CacheInner>>,
+}
+
+impl<B> Clone for BufferCache<B> {
+    fn clone(&self) -> Self {
+        BufferCache {
+            dev: Arc::clone(&self.dev),
+            rt: self.rt.clone(),
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<B: BlockIo> std::fmt::Debug for BufferCache<B> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.lock();
+        write!(
+            f,
+            "BufferCache({} pages cached, {:?})",
+            inner.pages.len(),
+            inner.stats
+        )
+    }
+}
+
+impl<B: BlockIo + 'static> BufferCache<B> {
+    /// Per-4 KiB-page management cost of the kernel buffered path,
+    /// calibrated to the paper's measured ~300 MB/s plateau
+    /// (4096 B / 300 MB/s ≈ 13 µs per page).
+    pub const PER_PAGE_OVERHEAD: Dur = Dur::micros(13);
+
+    /// Wraps `dev` with a cache of `capacity_pages` 4 KiB pages.
+    pub fn new(rt: &Runtime, dev: B, capacity_pages: usize) -> BufferCache<B> {
+        BufferCache {
+            dev: Arc::new(dev),
+            rt: rt.clone(),
+            inner: Arc::new(Mutex::new(CacheInner {
+                pages: HashMap::new(),
+                lru: Vec::new(),
+                capacity_pages,
+                stats: CacheStats::default(),
+            })),
+        }
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> CacheStats {
+        self.inner.lock().stats
+    }
+
+    fn touch(inner: &mut CacheInner, page: u64) {
+        if let Some(pos) = inner.lru.iter().position(|p| *p == page) {
+            inner.lru.remove(pos);
+        }
+        inner.lru.push(page);
+    }
+
+    fn insert(inner: &mut CacheInner, page: u64, data: Vec<u8>) {
+        if inner.pages.len() >= inner.capacity_pages && !inner.pages.contains_key(&page) {
+            if let Some(victim) = inner.lru.first().copied() {
+                inner.lru.remove(0);
+                inner.pages.remove(&victim);
+                inner.stats.evictions += 1;
+            }
+        }
+        inner.pages.insert(page, data);
+        Self::touch(inner, page);
+    }
+}
+
+impl<B: BlockIo + 'static> BlockIo for BufferCache<B> {
+    fn sector_count(&self) -> u64 {
+        self.dev.sector_count()
+    }
+
+    fn read(&self, sector: u64, count: u32) -> BoxFuture<Result<Vec<u8>, BlockError>> {
+        let this = self.clone();
+        Box::pin(async move {
+            let end = sector + count as u64;
+            if end > this.dev.sector_count() {
+                return Err(BlockError::OutOfRange);
+            }
+            let first_page = sector / SECTORS_PER_PAGE;
+            let last_page = (end - 1) / SECTORS_PER_PAGE;
+
+            // Readahead: if any page of the span misses, fetch the whole
+            // span in one device request (the kernel's readahead window),
+            // which pipelines through the ring, then populate the cache.
+            let all_cached = {
+                let inner = this.inner.lock();
+                (first_page..=last_page).all(|p| inner.pages.contains_key(&p))
+            };
+            if !all_cached {
+                let span_start = first_page * SECTORS_PER_PAGE;
+                let span_sectors = ((last_page - first_page + 1) * SECTORS_PER_PAGE) as u32;
+                let data = this.dev.read(span_start, span_sectors).await?;
+                let mut inner = this.inner.lock();
+                for page in first_page..=last_page {
+                    let off = ((page - first_page) * SECTORS_PER_PAGE) as usize * SECTOR_SIZE;
+                    inner.stats.misses += 1;
+                    let chunk = data[off..off + SECTORS_PER_PAGE as usize * SECTOR_SIZE].to_vec();
+                    Self::insert(&mut inner, page, chunk);
+                }
+            }
+
+            let mut assembled = Vec::with_capacity(count as usize * SECTOR_SIZE);
+            for page in first_page..=last_page {
+                // Every page access pays the cache-management overhead plus
+                // the copy out of the cache into the caller's buffer.
+                this.rt.charge(Self::PER_PAGE_OVERHEAD);
+                // Look up (and account) without holding the guard across
+                // any await point.
+                let hit = {
+                    let mut inner = this.inner.lock();
+                    let hit = inner.pages.get(&page).cloned();
+                    if hit.is_some() {
+                        if all_cached {
+                            inner.stats.hits += 1;
+                        }
+                        Self::touch(&mut inner, page);
+                    }
+                    hit
+                };
+                let data = match hit {
+                    Some(d) => d,
+                    None => {
+                        // Evicted between fill and copy-out (tiny caches):
+                        // re-read the single page.
+                        let d = this
+                            .dev
+                            .read(page * SECTORS_PER_PAGE, SECTORS_PER_PAGE as u32)
+                            .await?;
+                        let mut inner = this.inner.lock();
+                        Self::insert(&mut inner, page, d.clone());
+                        d
+                    }
+                };
+                let page_start_sector = page * SECTORS_PER_PAGE;
+                let from = sector.max(page_start_sector) - page_start_sector;
+                let to = end.min(page_start_sector + SECTORS_PER_PAGE) - page_start_sector;
+                assembled.extend_from_slice(
+                    &data[from as usize * SECTOR_SIZE..to as usize * SECTOR_SIZE],
+                );
+            }
+            Ok(assembled)
+        })
+    }
+
+    fn write(&self, sector: u64, data: Vec<u8>) -> BoxFuture<Result<(), BlockError>> {
+        let this = self.clone();
+        Box::pin(async move {
+            // Write-through: update cached pages then hit the device.
+            if !data.len().is_multiple_of(SECTOR_SIZE) {
+                return Err(BlockError::Unaligned);
+            }
+            {
+                let mut inner = this.inner.lock();
+                let count = (data.len() / SECTOR_SIZE) as u64;
+                for page in sector / SECTORS_PER_PAGE..=(sector + count - 1) / SECTORS_PER_PAGE {
+                    // Invalidate rather than merge: simple and correct.
+                    inner.pages.remove(&page);
+                    if let Some(pos) = inner.lru.iter().position(|p| *p == page) {
+                        inner.lru.remove(pos);
+                    }
+                }
+            }
+            this.rt.charge(Self::PER_PAGE_OVERHEAD);
+            this.dev.write(sector, data).await
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::MemDisk;
+    use mirage_hypervisor::Hypervisor;
+    use mirage_runtime::UnikernelGuest;
+
+    fn run_case<F, Fut>(f: F)
+    where
+        F: FnOnce(Runtime) -> Fut + Send + 'static,
+        Fut: std::future::Future<Output = i64> + Send + 'static,
+    {
+        let guest = UnikernelGuest::new(move |_env, rt| {
+            let rt2 = rt.clone();
+            rt.spawn(async move { f(rt2).await })
+        });
+        let mut hv = Hypervisor::new();
+        let dom = hv.create_domain("t", 64, Box::new(guest));
+        hv.run();
+        assert_eq!(hv.exit_code(dom), Some(0));
+    }
+
+    #[test]
+    fn repeat_reads_hit_the_cache() {
+        run_case(|rt| async move {
+            let cache = BufferCache::new(&rt, MemDisk::new(1024), 16);
+            cache.write(0, vec![9u8; 8 * SECTOR_SIZE]).await.unwrap();
+            let a = cache.read(0, 8).await.unwrap();
+            let b = cache.read(0, 8).await.unwrap();
+            assert_eq!(a, b);
+            let stats = cache.stats();
+            assert_eq!(stats.misses, 1, "first read misses");
+            assert_eq!(stats.hits, 1, "second read hits");
+            0
+        });
+    }
+
+    #[test]
+    fn eviction_at_capacity() {
+        run_case(|rt| async move {
+            let cache = BufferCache::new(&rt, MemDisk::new(4096), 2);
+            for page in 0..4u64 {
+                cache.read(page * 8, 8).await.unwrap();
+            }
+            let stats = cache.stats();
+            assert_eq!(stats.misses, 4);
+            assert_eq!(stats.evictions, 2, "LRU evicted beyond capacity 2");
+            // Oldest page is gone: reading it misses again.
+            cache.read(0, 8).await.unwrap();
+            assert_eq!(cache.stats().misses, 5);
+            0
+        });
+    }
+
+    #[test]
+    fn writes_invalidate_cached_pages() {
+        run_case(|rt| async move {
+            let cache = BufferCache::new(&rt, MemDisk::new(1024), 16);
+            cache.read(0, 8).await.unwrap();
+            cache.write(0, vec![5u8; SECTOR_SIZE]).await.unwrap();
+            let data = cache.read(0, 1).await.unwrap();
+            assert_eq!(data, vec![5u8; SECTOR_SIZE], "read-after-write sees new data");
+            0
+        });
+    }
+
+    #[test]
+    fn partial_page_reads_assemble_correctly() {
+        run_case(|rt| async move {
+            let disk = MemDisk::new(1024);
+            let mut pattern = Vec::new();
+            for s in 0..16u8 {
+                pattern.extend(vec![s; SECTOR_SIZE]);
+            }
+            disk.write(0, pattern.clone()).await.unwrap();
+            let cache = BufferCache::new(&rt, disk, 16);
+            // Read sectors 5..11 (crosses the page boundary at 8).
+            let got = cache.read(5, 6).await.unwrap();
+            assert_eq!(got, pattern[5 * SECTOR_SIZE..11 * SECTOR_SIZE].to_vec());
+            0
+        });
+    }
+}
