@@ -9,8 +9,7 @@ use mirage_dns::{
     CompressionStrategy, DnsName, DnsServer, Message, RType, ServerConfig, Zone,
 };
 use mirage_hypervisor::CostTable;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use mirage_testkit::rng::Rng;
 
 const ZONE_SIZES: [usize; 5] = [100, 500, 1_000, 5_000, 10_000];
 
@@ -45,7 +44,7 @@ fn query_stream(zone_entries: usize, queries: usize) -> (DnsServer, DnsServer, V
             ..ServerConfig::default()
         },
     );
-    let mut rng = StdRng::seed_from_u64(0xD45);
+    let mut rng = Rng::for_stream(mirage_testkit::test_seed(), "fig10.queries");
     let stream = (0..queries)
         .map(|i| {
             let host = rng.gen_range(0..zone_entries);
@@ -68,14 +67,14 @@ fn main() {
     c.bench_function("fig10/real_answer_memoized_512q", |b| {
         b.iter(|| {
             for q in &stream {
-                criterion::black_box(memo.answer(q));
+                mirage_testkit::bench::black_box(memo.answer(q));
             }
         })
     });
     c.bench_function("fig10/real_answer_no_memo_512q", |b| {
         b.iter(|| {
             for q in &stream {
-                criterion::black_box(nomemo.answer(q));
+                mirage_testkit::bench::black_box(nomemo.answer(q));
             }
         })
     });
@@ -91,7 +90,7 @@ fn main() {
     c.bench_function("fig10/ablation_hash_table_compression_512q", |b| {
         b.iter(|| {
             for q in &stream {
-                criterion::black_box(hash_server.answer(q));
+                mirage_testkit::bench::black_box(hash_server.answer(q));
             }
         })
     });

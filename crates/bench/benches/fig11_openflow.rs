@@ -37,13 +37,13 @@ fn main() {
     c.bench_function("fig11/real_cbench_single_16sw_x100macs", |b| {
         b.iter(|| {
             let bench = Cbench::paper_config(CbenchMode::Single);
-            criterion::black_box(bench.run(5, LearningSwitch::new))
+            mirage_testkit::bench::black_box(bench.run(5, LearningSwitch::new))
         })
     });
     c.bench_function("fig11/real_cbench_batch_2sw", |b| {
         b.iter(|| {
             let bench = Cbench::new(2, 100, CbenchMode::Batch);
-            criterion::black_box(bench.run(1, LearningSwitch::new))
+            mirage_testkit::bench::black_box(bench.run(1, LearningSwitch::new))
         })
     });
     c.final_summary();

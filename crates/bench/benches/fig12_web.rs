@@ -49,7 +49,7 @@ fn main() {
                             .unwrap();
                     }
                     for _ in 0..9 {
-                        criterion::black_box(tree.scan().await.unwrap());
+                        mirage_testkit::bench::black_box(tree.scan().await.unwrap());
                     }
                     0i64
                 })

@@ -35,8 +35,8 @@ fn main() {
             let mut parser = RequestParser::new();
             parser.feed(&wire);
             let req = parser.take().unwrap().unwrap();
-            let _ = criterion::black_box(req);
-            let _ = criterion::black_box(&server);
+            let _ = mirage_testkit::bench::black_box(req);
+            let _ = mirage_testkit::bench::black_box(&server);
         })
     });
     c.final_summary();

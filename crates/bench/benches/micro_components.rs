@@ -11,7 +11,7 @@ use mirage_openflow::{OfMessage, NO_BUFFER};
 use mirage_ring::desc;
 use mirage_storage::{MemLog, Tree};
 use std::net::Ipv4Addr;
-use criterion::Criterion;
+use mirage_testkit::bench::Criterion;
 use std::future::Future;
 
 fn bench_pages(c: &mut Criterion) {
@@ -23,7 +23,7 @@ fn bench_pages(c: &mut Criterion) {
             page.truncate(14);
             let buf = page.freeze();
             let (hdr, payload) = buf.split_at(7);
-            criterion::black_box((hdr.as_slice(), payload.as_slice()));
+            mirage_testkit::bench::black_box((hdr.as_slice(), payload.as_slice()));
         })
     });
 }
@@ -35,7 +35,7 @@ fn bench_ring(c: &mut Criterion) {
             front.push_request(b"descriptor").unwrap();
             let req = back.take_request().unwrap();
             back.push_response(&req).unwrap();
-            criterion::black_box(front.take_response().unwrap());
+            mirage_testkit::bench::black_box(front.take_response().unwrap());
         })
     });
 }
@@ -72,7 +72,7 @@ fn bench_tcp(c: &mut Criterion) {
                 for r in &reply.segments {
                     let rwire = build_segment(B, 2, A, 1, r);
                     let rparsed = TcpSegment::parse(B, A, &rwire).unwrap();
-                    criterion::black_box(client.on_segment(&rparsed, now));
+                    mirage_testkit::bench::black_box(client.on_segment(&rparsed, now));
                 }
             }
         })
@@ -88,7 +88,7 @@ fn bench_openflow(c: &mut Criterion) {
     }
     .encode();
     c.bench_function("micro/openflow_packet_in_parse", |b| {
-        b.iter(|| criterion::black_box(OfMessage::parse(&pi).unwrap()))
+        b.iter(|| mirage_testkit::bench::black_box(OfMessage::parse(&pi).unwrap()))
     });
 }
 
@@ -108,7 +108,7 @@ fn bench_btree(c: &mut Criterion) {
                     std::task::Poll::Pending => unreachable!("MemLog is immediate"),
                 }
             }
-            criterion::black_box(&tree);
+            mirage_testkit::bench::black_box(&tree);
         })
     });
 }

@@ -136,7 +136,7 @@ fn main() {
     c.bench_function("ping/real_icmp_parse_and_reply", |b| {
         b.iter(|| {
             let echo = icmp::Echo::parse(&echo_wire).expect("valid");
-            criterion::black_box(echo.reply().build())
+            mirage_testkit::bench::black_box(echo.reply().build())
         })
     });
     c.final_summary();

@@ -6,8 +6,7 @@ use mirage_devices::{Blkfront, DriverDomain, Xenstore};
 use mirage_hypervisor::{Dur, Hypervisor, Time};
 use mirage_runtime::UnikernelGuest;
 use mirage_storage::{BlkDevice, BlockIo, BufferCache};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use mirage_testkit::rng::Rng;
 
 /// Figure 9 series.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -43,6 +42,17 @@ impl BlockTarget {
 /// Runs random reads of `block_bytes` each until `total_bytes` are read;
 /// returns throughput in MiB/s of virtual time.
 pub fn random_read_throughput(target: BlockTarget, block_bytes: usize, total_bytes: usize) -> f64 {
+    random_read_throughput_seeded(target, block_bytes, total_bytes, mirage_testkit::test_seed())
+}
+
+/// [`random_read_throughput`] with an explicit seed for the read-offset
+/// stream: the reported throughput is a pure function of the arguments.
+pub fn random_read_throughput_seeded(
+    target: BlockTarget,
+    block_bytes: usize,
+    total_bytes: usize,
+    seed: u64,
+) -> f64 {
     const SECTOR: usize = mirage_devices::blk::SECTOR_SIZE;
     let disk_sectors: u64 = 1 << 19; // 256 MiB device
     let block_sectors = (block_bytes / SECTOR).max(1) as u32;
@@ -58,7 +68,7 @@ pub fn random_read_throughput(target: BlockTarget, block_bytes: usize, total_byt
             let dev = BlkDevice::new(&rt2, handle);
             let costs = rt2.costs();
             let reads = (total_bytes / (block_sectors as usize * SECTOR)).max(1);
-            let mut rng = StdRng::seed_from_u64(0xF10);
+            let mut rng = Rng::for_stream(seed, "fig9.offsets");
             let run = |sector: u64| sector.min(disk_sectors - block_sectors as u64);
             match target {
                 BlockTarget::MirageDirect | BlockTarget::LinuxDirect => {

@@ -12,10 +12,10 @@ pub mod netsim;
 pub mod report;
 pub mod threadsim;
 
-/// Criterion defaults tuned for CI-speed runs: the virtual-time harnesses
-/// are deterministic, so large sample counts add nothing.
-pub fn criterion() -> criterion::Criterion {
-    criterion::Criterion::default()
+/// Criterion-style defaults tuned for CI-speed runs: the virtual-time
+/// harnesses are deterministic, so large sample counts add nothing.
+pub fn criterion() -> mirage_testkit::bench::Criterion {
+    mirage_testkit::bench::Criterion::default()
         .sample_size(10)
         .measurement_time(std::time::Duration::from_millis(600))
         .warm_up_time(std::time::Duration::from_millis(200))

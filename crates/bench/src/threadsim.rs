@@ -17,8 +17,7 @@
 use mirage_hypervisor::{CostTable, Dur};
 use mirage_pvboot::heap::{EnvOverheads, GcHeap, HeapBacking};
 use mirage_runtime::THREAD_HEAP_BYTES;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use mirage_testkit::rng::Rng;
 
 /// The Figure 7 targets.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -116,7 +115,18 @@ pub fn construction_time(target: ThreadTarget, threads: u64, costs: &CostTable) 
 /// per-wake syscall path; (3) preemptive hosts add seeded run-queue noise
 /// up to the target's ceiling.
 pub fn jitter_samples(target: ThreadTarget, threads: u64, costs: &CostTable) -> Vec<Dur> {
-    let mut rng = StdRng::seed_from_u64(0x4A49_5454 ^ threads);
+    jitter_samples_seeded(target, threads, costs, mirage_testkit::test_seed())
+}
+
+/// [`jitter_samples`] with an explicit seed: the whole sample set is a
+/// pure function of `(target, threads, costs, seed)`.
+pub fn jitter_samples_seeded(
+    target: ThreadTarget,
+    threads: u64,
+    costs: &CostTable,
+    seed: u64,
+) -> Vec<Dur> {
+    let mut rng = Rng::for_stream(seed ^ threads, "fig7.jitter");
     // Deadlines uniform over [1s, 4s), quantised to the 100 µs timer
     // resolution a busy wheel exhibits — wakes arrive in bursts.
     let window_ns = 3_000_000_000u64;

@@ -107,7 +107,7 @@ impl LinkSet {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use mirage_testkit::prop::{collection};
 
     #[test]
     fn closure_includes_roots_deps_and_base() {
@@ -179,11 +179,10 @@ mod tests {
         assert!(set.unreachable_from(&roots).is_empty());
     }
 
-    proptest! {
+    mirage_testkit::property! {
         /// Closure soundness: the retained set is closed under deps, and
         /// minimal (every member reachable from the roots + base).
-        #[test]
-        fn prop_closure_sound_and_minimal(idx in proptest::collection::vec(0usize..crate::library::CATALOG.len(), 1..5)) {
+        fn prop_closure_sound_and_minimal(idx in collection::vec(0usize..crate::library::CATALOG.len(), 1..5)) {
             let roots: Vec<Library> = idx
                 .iter()
                 .map(|i| Library(&crate::library::CATALOG[*i]))
@@ -192,18 +191,18 @@ mod tests {
             // Closed: every dep of every member is a member.
             for lib in set.libraries() {
                 for dep in lib.info().deps {
-                    prop_assert!(set.contains(Library::by_name(dep).unwrap()),
+                    assert!(set.contains(Library::by_name(dep).unwrap()),
                         "{} missing dep {dep}", lib.name());
                 }
             }
             // Minimal: auditing against its own roots finds nothing.
-            prop_assert!(set.unreachable_from(&roots).is_empty());
+            assert!(set.unreachable_from(&roots).is_empty());
             // Monotone: adding a root never shrinks the closure.
             let mut bigger_roots = roots.clone();
             bigger_roots.push(Library::APP_SSH);
             let bigger = LinkSet::close(&bigger_roots);
             for lib in set.libraries() {
-                prop_assert!(bigger.contains(lib));
+                assert!(bigger.contains(lib));
             }
         }
     }

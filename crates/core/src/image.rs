@@ -7,9 +7,7 @@
 //! linker script, without impeding any compiler optimisations and without
 //! adding any runtime complexity."
 
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
+use mirage_testkit::rng::Rng;
 
 use crate::config::Config;
 use crate::dce::{DceLevel, LinkSet};
@@ -54,10 +52,10 @@ impl Image {
         cfg: &Config,
         layout_seed: u64,
     ) -> Image {
-        let mut rng = StdRng::seed_from_u64(layout_seed ^ cfg.identity_hash());
+        let mut rng = Rng::new(layout_seed ^ cfg.identity_hash());
         let mut libs: Vec<Library> = set.libraries().collect();
         // CT-ASR: shuffle section order...
-        libs.shuffle(&mut rng);
+        rng.shuffle(&mut libs);
         let mut sections = Vec::with_capacity(libs.len());
         let mut cursor = 0u64;
         for lib in &libs {

@@ -400,7 +400,7 @@ impl IntoIterator for BufList {
 mod tests {
     use super::*;
     use crate::PagePool;
-    use proptest::prelude::*;
+    use mirage_testkit::prop::{any, collection};
 
     fn make_buf(data: &[u8]) -> Buf {
         Buf::copy_from_slice(data)
@@ -493,12 +493,11 @@ mod tests {
         assert_eq!(buf.le32(2), 0xDDCC_BBAA);
     }
 
-    proptest! {
+    mirage_testkit::property! {
         /// The view algebra: any chain of in-bounds sub() calls observes
         /// exactly the bytes of the corresponding slice range.
-        #[test]
-        fn prop_sub_matches_slice(data in proptest::collection::vec(any::<u8>(), 1..256),
-                                  cuts in proptest::collection::vec((0usize..256, 0usize..256), 0..8)) {
+        fn prop_sub_matches_slice(data in collection::vec(any::<u8>(), 1..256),
+                                  cuts in collection::vec((0usize..256, 0usize..256), 0..8)) {
             let buf = Buf::copy_from_slice(&data);
             let mut view = buf.clone();
             let mut lo = 0usize;
@@ -512,24 +511,22 @@ mod tests {
                 lo += off;
                 hi = lo + sub_len;
             }
-            prop_assert_eq!(view.as_slice(), &data[lo..hi]);
+            assert_eq!(view.as_slice(), &data[lo..hi]);
         }
 
         /// split_at is a partition: concatenating the halves restores the view.
-        #[test]
-        fn prop_split_partitions(data in proptest::collection::vec(any::<u8>(), 0..128),
+        fn prop_split_partitions(data in collection::vec(any::<u8>(), 0..128),
                                  mid_seed in any::<usize>()) {
             let buf = Buf::copy_from_slice(&data);
             let mid = if data.is_empty() { 0 } else { mid_seed % (data.len() + 1) };
             let (a, b) = buf.split_at(mid);
             let mut joined = a.as_slice().to_vec();
             joined.extend_from_slice(b.as_slice());
-            prop_assert_eq!(joined, data);
+            assert_eq!(joined, data);
         }
 
         /// Pages always return to the pool no matter how views are split.
-        #[test]
-        fn prop_pages_always_recycle(splits in proptest::collection::vec(0usize..4096, 1..16)) {
+        fn prop_pages_always_recycle(splits in collection::vec(0usize..4096, 1..16)) {
             let pool = PagePool::new(1);
             {
                 let page = pool.alloc().unwrap();
@@ -543,7 +540,7 @@ mod tests {
                     views.push(b);
                 }
             }
-            prop_assert_eq!(pool.free_pages(), 1);
+            assert_eq!(pool.free_pages(), 1);
         }
     }
 }

@@ -65,10 +65,10 @@ pub struct DnsServer {
     zone: Zone,
     cfg: ServerConfig,
     memo: Option<Memoizer<Vec<u8>, Vec<u8>>>,
-    stats: parking_lot_stub::Counter,
+    stats: counters::Counter,
 }
 
-mod parking_lot_stub {
+mod counters {
     //! Tiny interior-mutability counter (avoids a full mutex dependency
     //! in the hot path).
     use std::sync::atomic::{AtomicU64, Ordering};

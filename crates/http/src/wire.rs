@@ -357,7 +357,7 @@ fn find_blank_line(buf: &[u8]) -> Option<usize> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use mirage_testkit::prop::{any, collection};
 
     #[test]
     fn request_round_trip() {
@@ -434,11 +434,10 @@ mod tests {
         assert_eq!(p3.take(), Err(HttpError::TooLarge));
     }
 
-    proptest! {
+    mirage_testkit::property! {
         /// Any request round-trips through encode/parse, chunked arbitrarily.
-        #[test]
-        fn prop_request_round_trip(path in "/[a-z0-9/]{0,24}",
-                                   body in proptest::collection::vec(any::<u8>(), 0..512),
+        fn prop_request_round_trip(path in mirage_testkit::prop::path(0..25),
+                                   body in collection::vec(any::<u8>(), 0..512),
                                    chunk in 1usize..64) {
             let req = Request::post(path.clone(), body.clone());
             let wire = req.encode();
@@ -451,8 +450,8 @@ mod tests {
                 result = Some(r);
             }
             let parsed = result.expect("complete after full feed");
-            prop_assert_eq!(parsed.path, path);
-            prop_assert_eq!(parsed.body, body);
+            assert_eq!(parsed.path, path);
+            assert_eq!(parsed.body, body);
         }
     }
 }

@@ -13,7 +13,7 @@
 use std::fmt;
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use mirage_testkit::sync::Mutex;
 
 use crate::DomainId;
 

@@ -239,7 +239,7 @@ impl AddressSpace {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use mirage_testkit::prop::{any, collection};
 
     const PAGE: u64 = crate::PAGE_SIZE as u64;
 
@@ -371,13 +371,12 @@ mod tests {
         assert_eq!(aspace.seal(), Err(MemError::AlreadySealed));
     }
 
-    proptest! {
+    mirage_testkit::property! {
         /// Sealing is an invariant: after a successful seal, no sequence of
         /// map/protect/unmap calls can ever produce a writable+executable
         /// page.
-        #[test]
         fn prop_sealed_space_preserves_wx(
-            ops in proptest::collection::vec((0u8..3, 0u64..64, any::<bool>(), any::<bool>()), 0..64)
+            ops in collection::vec((0u8..3, 0u64..64, any::<bool>(), any::<bool>()), 0..64)
         ) {
             let mut aspace = AddressSpace::new();
             aspace.map(text(0, 4)).unwrap();
@@ -390,14 +389,13 @@ mod tests {
                     1 => aspace.protect(addr, w, x),
                     _ => aspace.unmap(addr).map(|_| ()),
                 };
-                prop_assert!(aspace.satisfies_wx());
+                assert!(aspace.satisfies_wx());
             }
         }
 
         /// Before sealing, accepted mappings never overlap.
-        #[test]
         fn prop_no_overlapping_mappings(
-            ops in proptest::collection::vec((0u64..32, 1u64..8), 0..32)
+            ops in collection::vec((0u64..32, 1u64..8), 0..32)
         ) {
             let mut aspace = AddressSpace::new();
             for (page, len) in ops {
@@ -406,7 +404,7 @@ mod tests {
             let maps = aspace.mappings();
             for (i, a) in maps.iter().enumerate() {
                 for b in &maps[i + 1..] {
-                    prop_assert!(!a.overlaps(b));
+                    assert!(!a.overlaps(b));
                 }
             }
         }

@@ -55,7 +55,7 @@ pub fn verify_pseudo(src: Ipv4Addr, dst: Ipv4Addr, protocol: u8, segment: &[u8])
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use mirage_testkit::prop::{any, collection};
 
     #[test]
     fn rfc1071_worked_example() {
@@ -79,12 +79,11 @@ mod tests {
         assert!(!verify(&data), "corruption detected");
     }
 
-    proptest! {
+    mirage_testkit::property! {
         /// Inserting the computed checksum always makes verification pass,
         /// and any single-bit flip breaks it.
-        #[test]
         fn prop_checksum_detects_bit_flips(
-            mut data in proptest::collection::vec(any::<u8>(), 12..256),
+            mut data in collection::vec(any::<u8>(), 12..256),
             flip in any::<usize>(),
         ) {
             // Reserve bytes 10..12 as the checksum field.
@@ -92,15 +91,14 @@ mod tests {
             data[11] = 0;
             let c = checksum(&data);
             data[10..12].copy_from_slice(&c.to_be_bytes());
-            prop_assert!(verify(&data));
+            assert!(verify(&data));
             let bit = flip % (data.len() * 8);
             data[bit / 8] ^= 1 << (bit % 8);
-            prop_assert!(!verify(&data));
+            assert!(!verify(&data));
         }
 
         /// The pseudo-header checksum round-trips through verify_pseudo.
-        #[test]
-        fn prop_pseudo_round_trip(payload in proptest::collection::vec(any::<u8>(), 8..128)) {
+        fn prop_pseudo_round_trip(payload in collection::vec(any::<u8>(), 8..128)) {
             let src = std::net::Ipv4Addr::new(10, 0, 0, 1);
             let dst = std::net::Ipv4Addr::new(10, 0, 0, 2);
             let mut seg = payload.clone();
@@ -109,11 +107,11 @@ mod tests {
             seg[7] = 0;
             let c = pseudo_checksum(src, dst, 17, &seg);
             seg[6..8].copy_from_slice(&c.to_be_bytes());
-            prop_assert!(verify_pseudo(src, dst, 17, &seg));
+            assert!(verify_pseudo(src, dst, 17, &seg));
             // One's-complement addition commutes, so swapping src/dst does
             // not change the sum — but changing the protocol number must.
-            prop_assert!(verify_pseudo(dst, src, 17, &seg));
-            prop_assert!(!verify_pseudo(src, dst, 6, &seg));
+            assert!(verify_pseudo(dst, src, 17, &seg));
+            assert!(!verify_pseudo(src, dst, 6, &seg));
         }
     }
 }

@@ -78,7 +78,7 @@ pub fn build(dst: Mac, src: Mac, ethertype: EtherType, payload: &[u8]) -> Vec<u8
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use mirage_testkit::prop::{any, collection};
 
     #[test]
     fn build_parse_round_trip() {
@@ -102,17 +102,16 @@ mod tests {
         assert_eq!(EtherType::Other(0x86DD).to_u16(), 0x86DD);
     }
 
-    proptest! {
-        #[test]
+    mirage_testkit::property! {
         fn prop_round_trip(dst in any::<[u8;6]>(), src in any::<[u8;6]>(),
                            et in any::<u16>(),
-                           payload in proptest::collection::vec(any::<u8>(), 0..256)) {
+                           payload in collection::vec(any::<u8>(), 0..256)) {
             let frame = build(Mac(dst), Mac(src), EtherType::from_u16(et), &payload);
             let parsed = Frame::parse(&frame).unwrap();
-            prop_assert_eq!(parsed.dst, Mac(dst));
-            prop_assert_eq!(parsed.src, Mac(src));
-            prop_assert_eq!(parsed.ethertype.to_u16(), et);
-            prop_assert_eq!(parsed.payload, &payload[..]);
+            assert_eq!(parsed.dst, Mac(dst));
+            assert_eq!(parsed.src, Mac(src));
+            assert_eq!(parsed.ethertype.to_u16(), et);
+            assert_eq!(parsed.payload, &payload[..]);
         }
     }
 }

@@ -128,7 +128,7 @@ pub fn build(src: Ipv4Addr, dst: Ipv4Addr, protocol: u8, ident: u16, payload: &[
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use mirage_testkit::prop::{any, collection};
 
     const SRC: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 1);
     const DST: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 2);
@@ -181,19 +181,18 @@ mod tests {
         assert_eq!(Ipv4Packet::parse(&[]), Err(Ipv4Error::Truncated));
     }
 
-    proptest! {
-        #[test]
+    mirage_testkit::property! {
         fn prop_round_trip(src in any::<u32>(), dst in any::<u32>(), proto in any::<u8>(),
                            ident in any::<u16>(),
-                           payload in proptest::collection::vec(any::<u8>(), 0..512)) {
+                           payload in collection::vec(any::<u8>(), 0..512)) {
             let src = Ipv4Addr::from(src);
             let dst = Ipv4Addr::from(dst);
             let wire = build(src, dst, proto, ident, &payload);
             let pkt = Ipv4Packet::parse(&wire).unwrap();
-            prop_assert_eq!(pkt.src, src);
-            prop_assert_eq!(pkt.dst, dst);
-            prop_assert_eq!(pkt.protocol, proto);
-            prop_assert_eq!(pkt.payload, &payload[..]);
+            assert_eq!(pkt.src, src);
+            assert_eq!(pkt.dst, dst);
+            assert_eq!(pkt.protocol, proto);
+            assert_eq!(pkt.payload, &payload[..]);
         }
     }
 }

@@ -11,7 +11,7 @@ use std::collections::HashMap;
 use std::net::Ipv4Addr;
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use mirage_testkit::sync::Mutex;
 
 use mirage_devices::netfront::NetHandle;
 use mirage_hypervisor::{Dur, Time};

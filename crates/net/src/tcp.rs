@@ -1056,7 +1056,7 @@ impl Connection {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use mirage_testkit::prop::{any, collection};
     use std::net::Ipv4Addr;
 
     const A: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 1);
@@ -1428,20 +1428,18 @@ mod tests {
         assert!(TcpSegment::parse(A, B, &wire).is_none());
     }
 
-    proptest! {
+    mirage_testkit::property! {
         /// Sequence-space comparisons behave like signed distance.
-        #[test]
         fn prop_seq_order_is_antisymmetric(a in any::<u32>(), delta in 1u32..0x7FFF_FFFF) {
             let b = a.wrapping_add(delta);
-            prop_assert!(seq::lt(a, b));
-            prop_assert!(seq::gt(b, a));
-            prop_assert!(!seq::lt(b, a));
-            prop_assert!(seq::le(a, a) && seq::ge(a, a));
+            assert!(seq::lt(a, b));
+            assert!(seq::gt(b, a));
+            assert!(!seq::lt(b, a));
+            assert!(seq::le(a, a) && seq::ge(a, a));
         }
 
         /// Under random loss in both directions, the stream still arrives
         /// complete and in order (retransmission is sound).
-        #[test]
         fn prop_lossy_link_preserves_stream(
             drop_mask in any::<u64>(),
             len in 1usize..30_000,
@@ -1453,13 +1451,12 @@ mod tests {
                 // Drop per the mask bits, but never starve forever.
                 (drop_mask >> (i % 64)) & 1 == 0 || i > 200
             });
-            prop_assert_eq!(collect_data(&ev_s), data);
+            assert_eq!(collect_data(&ev_s), data);
         }
 
         /// Segment wire format round-trips for arbitrary field values.
-        #[test]
         fn prop_wire_round_trip(seq in any::<u32>(), ack in any::<u32>(), win in any::<u16>(),
-                                payload in proptest::collection::vec(any::<u8>(), 0..64)) {
+                                payload in collection::vec(any::<u8>(), 0..64)) {
             let out = SegmentOut {
                 seq, ack,
                 flags: Flags::ACK,
@@ -1470,10 +1467,10 @@ mod tests {
             };
             let wire = build_segment(A, 1, B, 2, &out);
             let seg = TcpSegment::parse(A, B, &wire).unwrap();
-            prop_assert_eq!(seg.seq, seq);
-            prop_assert_eq!(seg.ack, ack);
-            prop_assert_eq!(seg.window, win);
-            prop_assert_eq!(seg.payload, &payload[..]);
+            assert_eq!(seg.seq, seq);
+            assert_eq!(seg.ack, ack);
+            assert_eq!(seg.window, win);
+            assert_eq!(seg.payload, &payload[..]);
         }
     }
 }

@@ -68,7 +68,7 @@ pub fn build(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use mirage_testkit::prop::{any, collection};
 
     const SRC: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 1);
     const DST: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 2);
@@ -107,15 +107,14 @@ mod tests {
         assert!(UdpDatagram::parse(SRC, DST, &wire[..7]).is_none());
     }
 
-    proptest! {
-        #[test]
+    mirage_testkit::property! {
         fn prop_round_trip(sp in any::<u16>(), dp in any::<u16>(),
-                           payload in proptest::collection::vec(any::<u8>(), 0..512)) {
+                           payload in collection::vec(any::<u8>(), 0..512)) {
             let wire = build(SRC, sp, DST, dp, &payload);
             let d = UdpDatagram::parse(SRC, DST, &wire).unwrap();
-            prop_assert_eq!(d.src_port, sp);
-            prop_assert_eq!(d.dst_port, dp);
-            prop_assert_eq!(d.payload, &payload[..]);
+            assert_eq!(d.src_port, sp);
+            assert_eq!(d.dst_port, dp);
+            assert_eq!(d.payload, &payload[..]);
         }
     }
 }

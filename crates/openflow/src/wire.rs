@@ -509,7 +509,7 @@ impl OfMessage {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use mirage_testkit::prop::{any, collection};
 
     fn round_trip(msg: OfMessage) {
         let wire = msg.encode();
@@ -595,10 +595,9 @@ mod tests {
         );
     }
 
-    proptest! {
-        #[test]
+    mirage_testkit::property! {
         fn prop_packet_in_round_trip(xid in any::<u32>(), port in any::<u16>(),
-                                     data in proptest::collection::vec(any::<u8>(), 0..256)) {
+                                     data in collection::vec(any::<u8>(), 0..256)) {
             round_trip(OfMessage::PacketIn { xid, buffer_id: NO_BUFFER, in_port: port, data });
         }
     }

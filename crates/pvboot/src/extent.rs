@@ -208,7 +208,7 @@ impl ExtentAllocator {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use mirage_testkit::prop::{any, collection};
 
     #[test]
     fn alloc_free_round_trip() {
@@ -258,10 +258,9 @@ mod tests {
         assert_eq!(a.region_len(), 3 * CHUNK_SIZE);
     }
 
-    proptest! {
+    mirage_testkit::property! {
         /// No two live allocations ever overlap, and accounting balances.
-        #[test]
-        fn prop_allocations_disjoint(ops in proptest::collection::vec((any::<bool>(), 1u64..5), 1..64)) {
+        fn prop_allocations_disjoint(ops in collection::vec((any::<bool>(), 1u64..5), 1..64)) {
             let mut a = ExtentAllocator::new(32 * CHUNK_SIZE);
             let mut live: Vec<Extent> = Vec::new();
             for (is_alloc, n) in ops {
@@ -275,16 +274,15 @@ mod tests {
                 }
                 for (i, x) in live.iter().enumerate() {
                     for y in &live[i + 1..] {
-                        prop_assert!(!x.overlaps(y));
+                        assert!(!x.overlaps(y));
                     }
                 }
-                prop_assert_eq!(a.free_bytes() + a.allocated_bytes(), a.region_len());
+                assert_eq!(a.free_bytes() + a.allocated_bytes(), a.region_len());
             }
         }
 
         /// Freeing everything always restores one maximal run.
-        #[test]
-        fn prop_full_free_fully_coalesces(sizes in proptest::collection::vec(1u64..4, 1..16)) {
+        fn prop_full_free_fully_coalesces(sizes in collection::vec(1u64..4, 1..16)) {
             let mut a = ExtentAllocator::new(64 * CHUNK_SIZE);
             let mut live = Vec::new();
             for n in sizes {
@@ -293,7 +291,7 @@ mod tests {
             for e in live {
                 a.free(e).unwrap();
             }
-            prop_assert_eq!(a.largest_free_run(), a.region_len());
+            assert_eq!(a.largest_free_run(), a.region_len());
         }
     }
 }

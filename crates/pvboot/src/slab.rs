@@ -145,7 +145,7 @@ impl SlabAllocator {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use mirage_testkit::prop::{any, collection};
 
     #[test]
     fn sizes_round_up_to_classes() {
@@ -185,24 +185,23 @@ mod tests {
         assert_eq!(slab.free(a), Err(SlabError::BadFree));
     }
 
-    proptest! {
+    mirage_testkit::property! {
         /// Live count equals allocs minus frees; every alloc within one
         /// class returns a distinct slot while live.
-        #[test]
-        fn prop_slab_accounting(ops in proptest::collection::vec((any::<bool>(), 1usize..2048), 1..128)) {
+        fn prop_slab_accounting(ops in collection::vec((any::<bool>(), 1usize..2048), 1..128)) {
             let mut slab = SlabAllocator::new(64);
             let mut live = Vec::new();
             for (is_alloc, size) in ops {
                 if is_alloc || live.is_empty() {
                     if let Ok(obj) = slab.alloc(size) {
-                        prop_assert!(!live.contains(&obj), "slot handed out twice");
+                        assert!(!live.contains(&obj), "slot handed out twice");
                         live.push(obj);
                     }
                 } else {
                     let obj = live.remove(size % live.len());
                     slab.free(obj).unwrap();
                 }
-                prop_assert_eq!(slab.live_objects(), live.len());
+                assert_eq!(slab.live_objects(), live.len());
             }
         }
     }

@@ -145,7 +145,7 @@ impl ByteRing {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use mirage_testkit::prop::{any, collection};
 
     #[test]
     fn write_then_read_round_trips() {
@@ -218,12 +218,11 @@ mod tests {
         assert!(notify_writer, "writer was waiting on space");
     }
 
-    proptest! {
+    mirage_testkit::property! {
         /// The byte stream is exactly FIFO: reads return precisely the
         /// bytes written, in order, regardless of chunking.
-        #[test]
-        fn prop_fifo_byte_stream(chunks in proptest::collection::vec(
-            proptest::collection::vec(any::<u8>(), 0..512), 1..40)
+        fn prop_fifo_byte_stream(chunks in collection::vec(
+            collection::vec(any::<u8>(), 0..512), 1..40)
         ) {
             let (ring, _region) = ByteRing::allocate(1);
             let mut written = Vec::new();
@@ -242,7 +241,7 @@ mod tests {
                 if m == 0 { break; }
                 read_back.extend_from_slice(&buf[..m]);
             }
-            prop_assert_eq!(written, read_back);
+            assert_eq!(written, read_back);
         }
     }
 }

@@ -250,7 +250,7 @@ pub fn pair() -> (FrontRing, BackRing) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use mirage_testkit::prop::{collection};
 
     #[test]
     fn ring_size_is_a_power_of_two() {
@@ -336,11 +336,10 @@ mod tests {
         }
     }
 
-    proptest! {
+    mirage_testkit::property! {
         /// The ring never loses, duplicates or reorders descriptors, under
         /// any interleaving of pushes and pops that respects flow control.
-        #[test]
-        fn prop_fifo_no_loss(script in proptest::collection::vec(0u8..3, 1..200)) {
+        fn prop_fifo_no_loss(script in collection::vec(0u8..3, 1..200)) {
             let (mut front, mut back) = pair();
             let mut next_req: u64 = 0;
             let mut expect_req: u64 = 0;
@@ -356,7 +355,7 @@ mod tests {
                     }
                     1 => {
                         if let Some(req) = back.take_request() {
-                            prop_assert_eq!(req, expect_req.to_le_bytes().to_vec());
+                            assert_eq!(req, expect_req.to_le_bytes().to_vec());
                             expect_req += 1;
                             in_backend += 1;
                         }
@@ -367,7 +366,7 @@ mod tests {
                             next_rsp += 1;
                             in_backend -= 1;
                             let rsp = front.take_response().unwrap();
-                            prop_assert_eq!(rsp, expect_rsp.to_le_bytes().to_vec());
+                            assert_eq!(rsp, expect_rsp.to_le_bytes().to_vec());
                             expect_rsp += 1;
                         }
                     }

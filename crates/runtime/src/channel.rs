@@ -12,7 +12,7 @@ use std::pin::Pin;
 use std::sync::Arc;
 use std::task::{Context, Poll, Waker};
 
-use parking_lot::Mutex;
+use mirage_testkit::sync::Mutex;
 
 /// Error returned by [`Receiver::recv`] when every sender is gone.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -17,7 +17,7 @@ use std::pin::Pin;
 use std::sync::Arc;
 use std::task::{Context, Poll, Waker};
 
-use parking_lot::Mutex;
+use mirage_testkit::sync::Mutex;
 
 use mirage_hypervisor::{Dur, Time};
 use mirage_pvboot::heap::GcHeap;

@@ -46,7 +46,7 @@ pub mod timer;
 use std::future::Future;
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use mirage_testkit::sync::Mutex;
 
 use mirage_hypervisor::event::Port;
 use mirage_hypervisor::{CostTable, DomainEnv, Dur, Guest, Step, Time, Wake};

@@ -12,7 +12,7 @@ use std::future::Future;
 use std::pin::Pin;
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use mirage_testkit::sync::Mutex;
 
 use mirage_devices::blk::{BlkCompletion, BlkHandle, BlkOp, BlkRequest, SECTOR_SIZE};
 use mirage_runtime::channel::{self, Sender};

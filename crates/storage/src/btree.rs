@@ -16,7 +16,7 @@
 
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use mirage_testkit::sync::Mutex;
 
 use crate::block::{BlockError, BlockIo, BoxFuture};
 
@@ -688,7 +688,7 @@ mod tests {
     use crate::block::MemDisk;
     use mirage_hypervisor::Hypervisor;
     use mirage_runtime::{Runtime, UnikernelGuest};
-    use proptest::prelude::*;
+    use mirage_testkit::prop::{any, collection};
 
     fn run_case<F, Fut>(f: F)
     where
@@ -834,12 +834,11 @@ mod tests {
         });
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(16))]
+    mirage_testkit::property! {
+        #![cases(16)]
         /// The tree agrees with a BTreeMap model under random workloads.
-        #[test]
-        fn prop_model_check(ops in proptest::collection::vec(
-            (0u8..3, 0u16..64, proptest::collection::vec(any::<u8>(), 0..8)),
+        fn prop_model_check(ops in collection::vec(
+            (0u8..3, 0u16..64, collection::vec(any::<u8>(), 0..8)),
             1..120,
         )) {
             run_case(move |_rt| async move {

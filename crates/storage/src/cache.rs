@@ -17,7 +17,7 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use mirage_testkit::sync::Mutex;
 
 use mirage_devices::blk::SECTOR_SIZE;
 use mirage_hypervisor::Dur;

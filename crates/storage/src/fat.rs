@@ -14,7 +14,7 @@
 
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use mirage_testkit::sync::Mutex;
 
 use mirage_devices::blk::SECTOR_SIZE;
 
@@ -827,20 +827,17 @@ mod tests {
     fn prop_fat_matches_in_memory_model() {
         // DESIGN.md's promised model check: random create/overwrite/delete
         // sequences agree with a HashMap model (deterministic seeds; the
-        // async driver makes proptest's runner awkward here, so we roll
+        // async driver makes a property runner awkward here, so we roll
         // the generator by hand across several seeds).
-        for seed in 0u64..8 {
+        let base = mirage_testkit::test_seed();
+        for round in 0u64..8 {
+            let seed = base ^ round;
             run_case(move |_rt| async move {
                 let fs = Fat32::format(MemDisk::new(8192)).await.unwrap();
                 let mut model: std::collections::HashMap<String, Vec<u8>> =
                     std::collections::HashMap::new();
-                let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
-                let mut rand = move || {
-                    state ^= state << 13;
-                    state ^= state >> 7;
-                    state ^= state << 17;
-                    state
-                };
+                let mut rng = mirage_testkit::rng::Rng::for_stream(seed, "fat.model");
+                let mut rand = move || rng.next_u64();
                 for _ in 0..60 {
                     let name = format!("F{}.DAT", rand() % 12);
                     match rand() % 4 {

@@ -4,7 +4,7 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use mirage_testkit::sync::Mutex;
 
 /// Store counters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -134,7 +134,7 @@ impl KvStore {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use mirage_testkit::prop::{any, collection};
 
     #[test]
     fn get_set_delete() {
@@ -166,11 +166,10 @@ mod tests {
         assert_eq!(kv2.get(b"x").unwrap().0, b"y");
     }
 
-    proptest! {
+    mirage_testkit::property! {
         /// The store agrees with a HashMap model under arbitrary ops.
-        #[test]
-        fn prop_matches_model(ops in proptest::collection::vec(
-            (0u8..3, proptest::collection::vec(any::<u8>(), 1..4), proptest::collection::vec(any::<u8>(), 0..4)),
+        fn prop_matches_model(ops in collection::vec(
+            (0u8..3, collection::vec(any::<u8>(), 1..4), collection::vec(any::<u8>(), 0..4)),
             0..200,
         )) {
             let kv = KvStore::new();
@@ -182,14 +181,14 @@ mod tests {
                         model.insert(key, val);
                     }
                     1 => {
-                        prop_assert_eq!(kv.get(&key).map(|(v, _)| v), model.get(&key).cloned());
+                        assert_eq!(kv.get(&key).map(|(v, _)| v), model.get(&key).cloned());
                     }
                     _ => {
-                        prop_assert_eq!(kv.delete(&key), model.remove(&key).is_some());
+                        assert_eq!(kv.delete(&key), model.remove(&key).is_some());
                     }
                 }
             }
-            prop_assert_eq!(kv.len(), model.len());
+            assert_eq!(kv.len(), model.len());
         }
     }
 }

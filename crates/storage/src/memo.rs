@@ -7,11 +7,11 @@
 //! usable by any service whose responses are a pure function of the
 //! request.
 
-use std::collections::HashMap;
 use std::hash::Hash;
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use mirage_testkit::hash::DetHashMap;
+use mirage_testkit::sync::Mutex;
 
 /// Memo counters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -25,7 +25,7 @@ pub struct MemoStats {
 }
 
 struct MemoInner<K, V> {
-    map: HashMap<K, (V, u64)>, // value, last-used tick
+    map: DetHashMap<K, (V, u64)>, // value, last-used tick
     tick: u64,
     capacity: usize,
     stats: MemoStats,
@@ -73,7 +73,7 @@ impl<K: Eq + Hash + Clone, V: Clone> Memoizer<K, V> {
         assert!(capacity > 0, "memo table needs at least one slot");
         Memoizer {
             inner: Arc::new(Mutex::new(MemoInner {
-                map: HashMap::new(),
+                map: DetHashMap::default(),
                 tick: 0,
                 capacity,
                 stats: MemoStats::default(),

@@ -1,0 +1,71 @@
+//! Deterministic hashing for simulation state.
+//!
+//! `std::collections::HashMap`'s default hasher is randomly seeded per
+//! process, so iteration order — and anything derived from it, like LRU
+//! tie-breaks — varies run to run. Simulation paths that must be
+//! reproducible from a seed use [`DetHashMap`]/[`DetHashSet`] instead:
+//! FNV-1a, fixed initial state, identical on every run and platform.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// FNV-1a, 64-bit. Not DoS-resistant — for deterministic simulations and
+/// tests, never for hostile input.
+#[derive(Debug, Clone)]
+pub struct DetHasher(u64);
+
+impl Default for DetHasher {
+    fn default() -> DetHasher {
+        DetHasher(0xCBF2_9CE4_8422_2325)
+    }
+}
+
+impl Hasher for DetHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x1000_0000_01B3);
+        }
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// Deterministic `BuildHasher` (implements `Default`, so the map types
+/// below work with `Default::default()`).
+pub type DetBuildHasher = BuildHasherDefault<DetHasher>;
+
+/// A `HashMap` with run-to-run stable hashing and iteration order.
+pub type DetHashMap<K, V> = HashMap<K, V, DetBuildHasher>;
+
+/// A `HashSet` with run-to-run stable hashing and iteration order.
+pub type DetHashSet<T> = HashSet<T, DetBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iteration_order_is_stable() {
+        let build = |n: u64| {
+            let mut m: DetHashMap<u64, u64> = DetHashMap::default();
+            for i in 0..n {
+                m.insert(i * 31, i);
+            }
+            m.into_iter().collect::<Vec<_>>()
+        };
+        assert_eq!(build(64), build(64));
+    }
+
+    #[test]
+    fn hasher_matches_reference_fnv() {
+        let mut h = DetHasher::default();
+        h.write(b"mirage");
+        // Independent FNV-1a implementation for cross-checking.
+        assert_eq!(h.finish(), crate::rng::fnv1a(b"mirage"));
+    }
+}

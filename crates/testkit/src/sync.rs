@@ -1,0 +1,138 @@
+//! `std::sync` primitives behind the `parking_lot`-shaped API the
+//! workspace uses: `lock()` returns the guard directly (a poisoned lock
+//! is transparently recovered — a panicking test thread must not
+//! cascade into unrelated poison panics).
+//!
+//! One import path for every crate: `use mirage_testkit::sync::Mutex;`.
+
+/// A mutual-exclusion lock whose `lock()` never returns a `Result`.
+#[derive(Debug, Default)]
+pub struct Mutex<T: ?Sized>(std::sync::Mutex<T>);
+
+/// Guard type returned by [`Mutex::lock`].
+pub type MutexGuard<'a, T> = std::sync::MutexGuard<'a, T>;
+
+impl<T> Mutex<T> {
+    /// A new unlocked mutex.
+    pub const fn new(value: T) -> Mutex<T> {
+        Mutex(std::sync::Mutex::new(value))
+    }
+
+    /// Consumes the mutex, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquires the lock, blocking until available. Poison from a
+    /// panicked holder is ignored (parking_lot semantics).
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        self.0.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Acquires the lock only if immediately available.
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        match self.0.try_lock() {
+            Ok(g) => Some(g),
+            Err(std::sync::TryLockError::Poisoned(e)) => Some(e.into_inner()),
+            Err(std::sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
+    /// Mutable access without locking (requires exclusive ownership).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.0.get_mut().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+/// A reader-writer lock whose `read()`/`write()` never return `Result`s.
+#[derive(Debug, Default)]
+pub struct RwLock<T: ?Sized>(std::sync::RwLock<T>);
+
+/// Guard returned by [`RwLock::read`].
+pub type RwLockReadGuard<'a, T> = std::sync::RwLockReadGuard<'a, T>;
+/// Guard returned by [`RwLock::write`].
+pub type RwLockWriteGuard<'a, T> = std::sync::RwLockWriteGuard<'a, T>;
+
+impl<T> RwLock<T> {
+    /// A new unlocked lock.
+    pub const fn new(value: T) -> RwLock<T> {
+        RwLock(std::sync::RwLock::new(value))
+    }
+
+    /// Consumes the lock, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    /// Acquires shared read access.
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        self.0.read().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Acquires exclusive write access.
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        self.0.write().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn mutex_basic_exclusion() {
+        let m = Arc::new(Mutex::new(0u32));
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let m = Arc::clone(&m);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..1000 {
+                    *m.lock() += 1;
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(*m.lock(), 8000);
+    }
+
+    #[test]
+    fn poisoned_mutex_recovers() {
+        let m = Arc::new(Mutex::new(5u32));
+        let m2 = Arc::clone(&m);
+        let _ = std::thread::spawn(move || {
+            let _g = m2.lock();
+            panic!("poison the lock");
+        })
+        .join();
+        // parking_lot semantics: the value is still reachable.
+        assert_eq!(*m.lock(), 5);
+    }
+
+    #[test]
+    fn try_lock_reports_contention() {
+        let m = Mutex::new(1);
+        let g = m.lock();
+        assert!(m.try_lock().is_none());
+        drop(g);
+        assert!(m.try_lock().is_some());
+    }
+
+    #[test]
+    fn rwlock_read_write() {
+        let l = RwLock::new(7u32);
+        {
+            let a = l.read();
+            let b = l.read();
+            assert_eq!((*a, *b), (7, 7));
+        }
+        *l.write() = 8;
+        assert_eq!(*l.read(), 8);
+    }
+}

@@ -1,0 +1,56 @@
+#!/usr/bin/env bash
+# Tier-1 verify for mirage-rs: offline build + test, dependency gate,
+# and example smoke tests. Run from anywhere; operates on the repo root.
+#
+#   scripts/verify.sh                # build, test, gate, examples
+#   scripts/verify.sh --determinism  # additionally run the seeded
+#                                    # double-test-run determinism check
+#
+# The workspace is fully self-contained (every dependency is a path
+# dependency), so everything here runs with --offline: if a registry
+# dependency ever creeps back in, the build itself fails, and the grep
+# gate below names the offending manifest line.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== gate: no registry dependencies in any manifest"
+# (a) The crates the seed depended on must never return.
+if grep -rEn '^(rand|proptest|criterion|crossbeam|parking_lot|bytes|serde)\b' \
+    Cargo.toml crates/*/Cargo.toml; then
+    echo "FAIL: registry dependency reintroduced (lines above)" >&2
+    exit 1
+fi
+# (b) Generic: no dependency line may carry a version requirement —
+# everything must be `path = ...` / `workspace = true`. (`^version` is
+# the crate's own version field, not a dependency.)
+if grep -rEn '=\s*\{?\s*"[~^]?[0-9]' Cargo.toml crates/*/Cargo.toml \
+    | grep -vE '(version(\.workspace)?|resolver|edition)\s*=' ; then
+    echo "FAIL: versioned (registry) dependency found (lines above)" >&2
+    exit 1
+fi
+echo "   ok"
+
+echo "== build (release, offline, all targets)"
+cargo build --release --offline --workspace --all-targets
+
+echo "== test (offline)"
+cargo test -q --offline --workspace
+
+echo "== examples"
+for ex in quickstart boot_storm dns_appliance web_appliance openflow_appliance; do
+    echo "   -- $ex"
+    cargo run --release --offline --example "$ex" > /dev/null
+done
+
+if [[ "${1:-}" == "--determinism" ]]; then
+    echo "== determinism: two test runs under one seed must be identical"
+    seed="${MIRAGE_TEST_SEED:-42}"
+    norm() { sed 's/finished in [0-9.]*s//'; }
+    MIRAGE_TEST_SEED="$seed" cargo test -q --offline --workspace 2>&1 | norm > /tmp/mirage-verify-run1
+    MIRAGE_TEST_SEED="$seed" cargo test -q --offline --workspace 2>&1 | norm > /tmp/mirage-verify-run2
+    diff /tmp/mirage-verify-run1 /tmp/mirage-verify-run2
+    echo "   ok (seed $seed)"
+fi
+
+echo "== verify: PASS"
