@@ -4,7 +4,7 @@
 //! "micro-benchmarks to establish baseline performance of key components"
 //! of §4.1, measured on the actual Rust implementations.
 
-use mirage_cstruct::PagePool;
+use mirage_cstruct::{PagePool, PktBuf};
 use mirage_hypervisor::Time;
 use mirage_net::tcp::{build_segment, Connection, TcpConfig, TcpSegment};
 use mirage_openflow::{OfMessage, NO_BUFFER};
@@ -50,16 +50,16 @@ fn bench_tcp(c: &mut Criterion) {
     // Handshake.
     let syn = build_segment(A, 1, B, 2, &out.segments[0]);
     let synack = server
-        .on_segment(&TcpSegment::parse(A, B, &syn).unwrap(), now)
+        .on_segment(&TcpSegment::parse(A, B, &PktBuf::from_vec(syn.clone())).unwrap(), now)
         .segments
         .remove(0);
     let synack_wire = build_segment(B, 2, A, 1, &synack);
     let ack = client
-        .on_segment(&TcpSegment::parse(B, A, &synack_wire).unwrap(), now)
+        .on_segment(&TcpSegment::parse(B, A, &PktBuf::from_vec(synack_wire.clone())).unwrap(), now)
         .segments
         .remove(0);
     let ack_wire = build_segment(A, 1, B, 2, &ack);
-    server.on_segment(&TcpSegment::parse(A, B, &ack_wire).unwrap(), now);
+    server.on_segment(&TcpSegment::parse(A, B, &PktBuf::from_vec(ack_wire.clone())).unwrap(), now);
 
     let payload = vec![0xABu8; 1460];
     c.bench_function("micro/tcp_segment_send_receive_ack", |b| {
@@ -67,11 +67,11 @@ fn bench_tcp(c: &mut Criterion) {
             let out = client.app_send(&payload, now);
             for seg in &out.segments {
                 let wire = build_segment(A, 1, B, 2, seg);
-                let parsed = TcpSegment::parse(A, B, &wire).unwrap();
+                let parsed = TcpSegment::parse(A, B, &PktBuf::from_vec(wire)).unwrap();
                 let reply = server.on_segment(&parsed, now);
                 for r in &reply.segments {
                     let rwire = build_segment(B, 2, A, 1, r);
-                    let rparsed = TcpSegment::parse(B, A, &rwire).unwrap();
+                    let rparsed = TcpSegment::parse(B, A, &PktBuf::from_vec(rwire)).unwrap();
                     mirage_testkit::bench::black_box(client.on_segment(&rparsed, now));
                 }
             }

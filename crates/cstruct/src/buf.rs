@@ -215,6 +215,21 @@ impl Buf {
         Buf::copy_from_slice(&[])
     }
 
+    /// Adopts an already-allocated vector as a standalone (pool-less) page
+    /// without copying its bytes.
+    pub fn from_vec(data: Vec<u8>) -> Buf {
+        let len = data.len();
+        let shared = Arc::new(PageShared {
+            data: Some(data.into_boxed_slice()),
+            pool: PoolRef::new(),
+        });
+        Buf {
+            page: shared,
+            off: 0,
+            len,
+        }
+    }
+
     /// The bytes this view covers.
     pub fn as_slice(&self) -> &[u8] {
         &self.page.bytes()[self.off..self.off + self.len]

@@ -35,6 +35,7 @@ pub use xenstore::Xenstore;
 #[cfg(test)]
 mod tests {
     use super::*;
+    use mirage_cstruct::PktBuf;
     use mirage_hypervisor::{Dur, Hypervisor, RunOutcome, Time};
     use mirage_runtime::UnikernelGuest;
 
@@ -64,7 +65,7 @@ mod tests {
                 assert_eq!(&frame[0..6], &MAC_B, "addressed to us");
                 let payload = frame[14..].to_vec();
                 let reply = eth_frame(MAC_A, MAC_B, &payload);
-                nh_b.tx.send(reply).unwrap();
+                nh_b.tx.send(PktBuf::from_vec(reply)).unwrap();
                 // Give the driver a chance to flush before exiting.
                 payload.len() as i64
             })
@@ -77,7 +78,7 @@ mod tests {
         let (front_a, mut nh_a) = Netfront::new(xs.clone(), "a", MAC_A, CopyDiscipline::ZeroCopy);
         let mut guest_a = UnikernelGuest::new(move |_env, rt| {
             rt.clone().spawn(async move {
-                nh_a.tx.send(eth_frame(MAC_B, MAC_A, b"ping!")).unwrap();
+                nh_a.tx.send(PktBuf::from_vec(eth_frame(MAC_B, MAC_A, b"ping!"))).unwrap();
                 let echo = nh_a.rx.recv().await.expect("echo arrives");
                 assert_eq!(&echo[14..], b"ping!");
                 0
@@ -110,7 +111,7 @@ mod tests {
                     b"hello tap",
                 );
                 reply[12..14].copy_from_slice(&frame[12..14]);
-                nh.tx.send(reply).unwrap();
+                nh.tx.send(PktBuf::from_vec(reply)).unwrap();
                 0
             })
         });
@@ -253,7 +254,7 @@ mod tests {
             let rt2 = rt.clone();
             rt.spawn(async move {
                 for _ in 0..100 {
-                    nh.tx.send(eth_frame(MAC_B, MAC_A, &[0u8; 1486])).unwrap();
+                    nh.tx.send(PktBuf::from_vec(eth_frame(MAC_B, MAC_A, &[0u8; 1486]))).unwrap();
                 }
                 // Stay alive until the driver drains the backlog.
                 while nh.stats().tx_frames < 100 {

@@ -14,6 +14,7 @@ use std::sync::Arc;
 
 use mirage_testkit::sync::Mutex;
 
+use mirage_cstruct::PktBuf;
 use mirage_hypervisor::event::Port;
 use mirage_hypervisor::grant::{GrantRef, SharedPage};
 use mirage_hypervisor::{DomainEnv, DomainId, Dur, Guest, Step, Time, Wake};
@@ -39,8 +40,8 @@ pub struct Tap {
 #[derive(Default)]
 struct TapInner {
     mac: [u8; 6],
-    to_switch: VecDeque<Vec<u8>>,
-    from_switch: VecDeque<Vec<u8>>,
+    to_switch: VecDeque<PktBuf>,
+    from_switch: VecDeque<PktBuf>,
 }
 
 impl std::fmt::Debug for Tap {
@@ -63,12 +64,12 @@ impl Tap {
     /// Queues a frame for injection into the switch. Call
     /// [`Hypervisor::wake_external`](mirage_hypervisor::Hypervisor::wake_external)
     /// on the driver domain afterwards so it notices.
-    pub fn inject(&self, frame: Vec<u8>) {
-        self.inner.lock().to_switch.push_back(frame);
+    pub fn inject(&self, frame: impl Into<PktBuf>) {
+        self.inner.lock().to_switch.push_back(frame.into());
     }
 
     /// Takes every frame the switch delivered to this tap.
-    pub fn harvest(&self) -> Vec<Vec<u8>> {
+    pub fn harvest(&self) -> Vec<PktBuf> {
         self.inner.lock().from_switch.drain(..).collect()
     }
 
@@ -85,7 +86,7 @@ struct NetBackendInst {
     tx_ring: BackRing,
     rx_ring: BackRing,
     mapped: HashMap<u32, SharedPage>,
-    out_queue: VecDeque<Vec<u8>>,
+    out_queue: VecDeque<PktBuf>,
     out_drops: u64,
 }
 
@@ -329,8 +330,9 @@ impl DriverDomain {
     }
 
     /// Route `frame` from `src_idx` (usize::MAX for taps) to its
-    /// destination queue(s).
-    fn route(&mut self, src_idx: usize, frame: Vec<u8>) {
+    /// destination queue(s). Multi-port delivery (taps, floods) clones the
+    /// `PktBuf` — a refcount bump, never a byte copy.
+    fn route(&mut self, src_idx: usize, frame: PktBuf) {
         if frame.len() < 14 {
             return;
         }
@@ -369,7 +371,7 @@ impl DriverDomain {
         }
     }
 
-    fn enqueue(nic: &mut NetBackendInst, frame: Vec<u8>, stats: &Arc<Mutex<DriverStats>>) {
+    fn enqueue(nic: &mut NetBackendInst, frame: PktBuf, stats: &Arc<Mutex<DriverStats>>) {
         if nic.out_queue.len() >= OUT_QUEUE_CAP {
             nic.out_drops += 1;
             stats.lock().frames_dropped += 1;
@@ -381,7 +383,7 @@ impl DriverDomain {
     fn service_net(&mut self, env: &mut DomainEnv<'_>) -> bool {
         let mut progressed = false;
         // Ingest frames from guests.
-        let mut routed: Vec<(usize, Vec<u8>)> = Vec::new();
+        let mut routed: Vec<(usize, PktBuf)> = Vec::new();
         for (idx, nic) in self.nics.iter_mut().enumerate() {
             let _ = env.evtchn_consume(nic.port);
             let mut notify = false;
@@ -392,11 +394,14 @@ impl DriverDomain {
                 let Some(page) = Self::map_cached(env, &mut nic.mapped, gref, false) else {
                     continue;
                 };
+                // Reading the granted page models the NIC's DMA; once off
+                // the wire the frame travels through the switch by
+                // reference.
                 let mut frame = vec![0u8; len as usize];
                 page.read(|b| frame.copy_from_slice(&b[..len as usize]));
                 // Wire serialisation time for this NIC.
                 env.consume(self.net_profile.wire_time(frame.len()));
-                routed.push((idx, frame));
+                routed.push((idx, PktBuf::from_vec(frame)));
                 notify |= nic.tx_ring.push_response(&gref_only(gref)).unwrap_or(false);
                 progressed = true;
             }

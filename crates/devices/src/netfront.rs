@@ -18,6 +18,7 @@ use std::sync::Arc;
 
 use mirage_testkit::sync::Mutex;
 
+use mirage_cstruct::PktBuf;
 use mirage_hypervisor::event::Port;
 use mirage_hypervisor::grant::{GrantRef, SharedPage};
 use mirage_hypervisor::{DomainEnv, DomainId};
@@ -68,10 +69,12 @@ pub struct NetifStats {
 pub struct NetHandle {
     /// Interface MAC address.
     pub mac: [u8; 6],
-    /// Frame transmit queue (stack → driver).
-    pub tx: Sender<Vec<u8>>,
-    /// Frame receive queue (driver → stack).
-    pub rx: Receiver<Vec<u8>>,
+    /// Frame transmit queue (stack → driver). Frames travel by reference:
+    /// the driver writes them into the granted page without cloning.
+    pub tx: Sender<PktBuf>,
+    /// Frame receive queue (driver → stack). Each frame is an owned view
+    /// the stack slices further without copying.
+    pub rx: Receiver<PktBuf>,
     stats: Arc<Mutex<NetifStats>>,
 }
 
@@ -156,9 +159,9 @@ pub struct Netfront {
     tx_inflight: HashMap<u32, (GrantRef, SharedPage)>,
     /// Posted receive buffers, keyed by gref.
     rx_bufs: HashMap<u32, SharedPage>,
-    from_stack: Receiver<Vec<u8>>,
-    to_stack: Sender<Vec<u8>>,
-    tx_backlog: VecDeque<Vec<u8>>,
+    from_stack: Receiver<PktBuf>,
+    to_stack: Sender<PktBuf>,
+    tx_backlog: VecDeque<PktBuf>,
     stats: Arc<Mutex<NetifStats>>,
 }
 
@@ -331,6 +334,9 @@ impl Netfront {
                     continue;
                 };
                 if let Some(page) = self.rx_bufs.get(&gref) {
+                    // Reading the granted page models the DMA transfer, so
+                    // it is priced by charge_rx, not counted as a software
+                    // copy; from here the frame travels by reference.
                     let mut frame = vec![0u8; len as usize];
                     page.read(|b| frame.copy_from_slice(&b[..len as usize]));
                     Self::charge_rx(self.discipline, env, len as usize);
@@ -339,7 +345,7 @@ impl Netfront {
                         st.rx_frames += 1;
                         st.rx_bytes += len as u64;
                     }
-                    let _ = self.to_stack.send(frame);
+                    let _ = self.to_stack.send(PktBuf::from_vec(frame));
                     // Repost the same buffer.
                     if let Ok(n) = rx_ring.push_request(&gref_only(gref)) {
                         notify_rx |= n;

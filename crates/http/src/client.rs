@@ -1,7 +1,7 @@
 //! A small HTTP client — the `httperf` analogue used by the Figure 12/13
 //! load generators.
 
-use mirage_net::{Ipv4Addr, NetError, Stack, TcpStream};
+use mirage_net::{Ipv4Addr, NetError, PktBuf, Stack, TcpStream};
 
 use crate::wire::{Request, Response, ResponseParser};
 
@@ -68,7 +68,7 @@ impl HttpConnection {
     ///
     /// [`ClientError::BadResponse`] on malformed data or early close.
     pub async fn request(&mut self, req: &Request) -> Result<Response, ClientError> {
-        self.stream.write(&req.encode());
+        self.stream.write_buf(PktBuf::from_vec(req.encode()));
         loop {
             if let Some(resp) = self
                 .parser
@@ -78,7 +78,7 @@ impl HttpConnection {
                 return Ok(resp);
             }
             match self.stream.read().await {
-                Some(chunk) => self.parser.feed(&chunk),
+                Some(chunk) => self.parser.feed(chunk),
                 None => return Err(ClientError::BadResponse),
             }
         }

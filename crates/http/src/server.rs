@@ -7,7 +7,7 @@ use std::pin::Pin;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use mirage_net::{TcpListener, TcpStream};
+use mirage_net::{PktBuf, TcpListener, TcpStream};
 use mirage_runtime::Runtime;
 
 use crate::wire::{Request, RequestParser, Response};
@@ -109,7 +109,9 @@ impl HttpServer {
                         if response.status >= 400 {
                             self.stats.errors.fetch_add(1, Ordering::Relaxed);
                         }
-                        stream.write(&response.encode());
+                        // Adopting the encoded message as a PktBuf lets the
+                        // stack slice segments out of it without re-copying.
+                        stream.write_buf(PktBuf::from_vec(response.encode()));
                         if !keep {
                             stream.close();
                             stream.wait_closed().await;
@@ -118,7 +120,7 @@ impl HttpServer {
                     }
                     Ok(None) => break,
                     Err(_) => {
-                        stream.write(&Response::status(400).encode());
+                        stream.write_buf(PktBuf::from_vec(Response::status(400).encode()));
                         stream.close();
                         stream.wait_closed().await;
                         break 'conn;
@@ -126,7 +128,7 @@ impl HttpServer {
                 }
             }
             match stream.read().await {
-                Some(chunk) => parser.feed(&chunk),
+                Some(chunk) => parser.feed(chunk),
                 None => {
                     // Peer closed; flush our side down cleanly.
                     stream.close();

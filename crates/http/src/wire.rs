@@ -5,6 +5,14 @@
 //! they arrive from TCP, and it yields complete messages once the header
 //! block and `Content-Length` body are in. Pipelined requests on one
 //! connection parse back-to-back.
+//!
+//! The parsers buffer [`PktBuf`] views rather than flat bytes, so feeding a
+//! chunk that arrived from the stack is a reference-count bump, not a copy.
+//! The only counted payload copy on the receive path is the final gather of
+//! the message body out of the buffered views.
+
+use mirage_net::{record_copy, PktBuf};
+use std::collections::VecDeque;
 
 /// Request methods the appliances use.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -208,10 +216,89 @@ impl std::error::Error for HttpError {}
 /// Header-block sanity bound.
 const MAX_HEADER_BYTES: usize = 16 * 1024;
 
+/// Received bytes held as a queue of [`PktBuf`] views. Feeding never copies
+/// payload; the views stay shared with the stack's receive buffers until a
+/// complete message is gathered out.
+#[derive(Debug, Default)]
+struct ChunkBuf {
+    chunks: VecDeque<PktBuf>,
+    len: usize,
+}
+
+impl ChunkBuf {
+    fn push(&mut self, data: PktBuf) {
+        if !data.is_empty() {
+            self.len += data.len();
+            self.chunks.push_back(data);
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Offset of the first `\r\n\r\n`, scanned with a rolling window so the
+    /// delimiter is found even when it straddles chunk boundaries.
+    fn find_blank_line(&self) -> Option<usize> {
+        let mut window = [0u8; 4];
+        let mut seen = 0usize;
+        for chunk in &self.chunks {
+            for &b in chunk.as_slice() {
+                window.rotate_left(1);
+                window[3] = b;
+                seen += 1;
+                if seen >= 4 && window == *b"\r\n\r\n" {
+                    return Some(seen - 4);
+                }
+            }
+        }
+        None
+    }
+
+    /// Copies `len` bytes starting at `start` into a fresh vector. Whether
+    /// this counts against the copy counters is the caller's call: header
+    /// blocks are protocol metadata, bodies are payload.
+    fn gather(&self, start: usize, len: usize) -> Vec<u8> {
+        let mut out = Vec::with_capacity(len);
+        let mut skip = start;
+        for chunk in &self.chunks {
+            if out.len() == len {
+                break;
+            }
+            let s = chunk.as_slice();
+            if skip >= s.len() {
+                skip -= s.len();
+                continue;
+            }
+            let take = (s.len() - skip).min(len - out.len());
+            out.extend_from_slice(&s[skip..skip + take]);
+            skip = 0;
+        }
+        out
+    }
+
+    /// Drops `n` bytes from the front, splitting the view at the boundary.
+    fn consume(&mut self, mut n: usize) {
+        self.len -= n;
+        while n > 0 {
+            let Some(front) = self.chunks.front_mut() else {
+                break;
+            };
+            if front.len() <= n {
+                n -= front.len();
+                self.chunks.pop_front();
+            } else {
+                let _ = front.split_to(n);
+                n = 0;
+            }
+        }
+    }
+}
+
 /// An incremental request parser: feed bytes, take complete requests.
 #[derive(Debug, Default)]
 pub struct RequestParser {
-    buf: Vec<u8>,
+    buf: ChunkBuf,
 }
 
 impl RequestParser {
@@ -220,9 +307,10 @@ impl RequestParser {
         RequestParser::default()
     }
 
-    /// Appends newly received bytes.
-    pub fn feed(&mut self, data: &[u8]) {
-        self.buf.extend_from_slice(data);
+    /// Appends newly received bytes. Feeding an owned [`PktBuf`] (as the
+    /// server and client do with stream chunks) is copy-free.
+    pub fn feed(&mut self, data: impl Into<PktBuf>) {
+        self.buf.push(data.into());
     }
 
     /// Attempts to take one complete request off the buffer.
@@ -231,14 +319,16 @@ impl RequestParser {
     ///
     /// [`HttpError`] on malformed input; the connection should be closed.
     pub fn take(&mut self) -> Result<Option<Request>, HttpError> {
-        let Some(header_end) = find_blank_line(&self.buf) else {
+        let Some(header_end) = self.buf.find_blank_line() else {
             if self.buf.len() > MAX_HEADER_BYTES {
                 return Err(HttpError::TooLarge);
             }
             return Ok(None);
         };
-        let header_text =
-            std::str::from_utf8(&self.buf[..header_end]).map_err(|_| HttpError::Malformed)?;
+        // Assembling the header block for parsing is not a counted copy:
+        // headers are protocol metadata, not delivered payload.
+        let head = self.buf.gather(0, header_end);
+        let header_text = std::str::from_utf8(&head).map_err(|_| HttpError::Malformed)?;
         let mut lines = header_text.split("\r\n");
         let request_line = lines.next().ok_or(HttpError::Malformed)?;
         let mut parts = request_line.split_whitespace();
@@ -265,8 +355,13 @@ impl RequestParser {
         if self.buf.len() < body_start + content_length {
             return Ok(None); // body still arriving
         }
-        let body = self.buf[body_start..body_start + content_length].to_vec();
-        self.buf.drain(..body_start + content_length);
+        // The single counted copy on the receive path: the body leaves the
+        // shared views and becomes the application's owned bytes.
+        let body = self.buf.gather(body_start, content_length);
+        if !body.is_empty() {
+            record_copy(body.len());
+        }
+        self.buf.consume(body_start + content_length);
         let keep_alive = !headers
             .iter()
             .any(|(n, v)| n == "connection" && v.eq_ignore_ascii_case("close"));
@@ -283,7 +378,7 @@ impl RequestParser {
 /// An incremental response parser (client side).
 #[derive(Debug, Default)]
 pub struct ResponseParser {
-    buf: Vec<u8>,
+    buf: ChunkBuf,
 }
 
 impl ResponseParser {
@@ -292,9 +387,9 @@ impl ResponseParser {
         ResponseParser::default()
     }
 
-    /// Appends newly received bytes.
-    pub fn feed(&mut self, data: &[u8]) {
-        self.buf.extend_from_slice(data);
+    /// Appends newly received bytes (copy-free for owned [`PktBuf`] chunks).
+    pub fn feed(&mut self, data: impl Into<PktBuf>) {
+        self.buf.push(data.into());
     }
 
     /// Attempts to take one complete response off the buffer.
@@ -303,14 +398,14 @@ impl ResponseParser {
     ///
     /// [`HttpError`] on malformed input.
     pub fn take(&mut self) -> Result<Option<Response>, HttpError> {
-        let Some(header_end) = find_blank_line(&self.buf) else {
+        let Some(header_end) = self.buf.find_blank_line() else {
             if self.buf.len() > MAX_HEADER_BYTES {
                 return Err(HttpError::TooLarge);
             }
             return Ok(None);
         };
-        let header_text =
-            std::str::from_utf8(&self.buf[..header_end]).map_err(|_| HttpError::Malformed)?;
+        let head = self.buf.gather(0, header_end);
+        let header_text = std::str::from_utf8(&head).map_err(|_| HttpError::Malformed)?;
         let mut lines = header_text.split("\r\n");
         let status_line = lines.next().ok_or(HttpError::Malformed)?;
         let mut parts = status_line.split_whitespace();
@@ -340,18 +435,17 @@ impl ResponseParser {
         if self.buf.len() < body_start + content_length {
             return Ok(None);
         }
-        let body = self.buf[body_start..body_start + content_length].to_vec();
-        self.buf.drain(..body_start + content_length);
+        let body = self.buf.gather(body_start, content_length);
+        if !body.is_empty() {
+            record_copy(body.len());
+        }
+        self.buf.consume(body_start + content_length);
         Ok(Some(Response {
             status,
             headers,
             body,
         }))
     }
-}
-
-fn find_blank_line(buf: &[u8]) -> Option<usize> {
-    buf.windows(4).position(|w| w == b"\r\n\r\n")
 }
 
 #[cfg(test)]

@@ -6,16 +6,34 @@
 
 use std::net::Ipv4Addr;
 
-/// One's-complement sum over `data`, folded to 16 bits (not yet inverted).
-fn sum(mut acc: u32, data: &[u8]) -> u32 {
-    let mut chunks = data.chunks_exact(2);
+/// One's-complement sum over `data` (not yet inverted).
+///
+/// Accumulates four bytes per step into a `u64` and folds with end-around
+/// carries afterwards. This is sound because one's-complement addition is
+/// invariant under wider-word accumulation: `2^16 ≡ 1 (mod 0xFFFF)`, so a
+/// big-endian `u32` chunk contributes exactly the same residue as its two
+/// 16-bit words, and deferred carries fold back in at the end (RFC 1071 §2).
+fn sum(acc: u32, data: &[u8]) -> u32 {
+    let mut wide = acc as u64;
+    let mut chunks = data.chunks_exact(4);
     for c in &mut chunks {
-        acc += u16::from_be_bytes([c[0], c[1]]) as u32;
+        wide += u32::from_be_bytes([c[0], c[1], c[2], c[3]]) as u64;
     }
-    if let [last] = chunks.remainder() {
-        acc += u16::from_be_bytes([*last, 0]) as u32;
+    // At most three trailing bytes remain; chunks of four preserve 16-bit
+    // word alignment, so finish with word-at-a-time plus the odd-byte pad.
+    let mut tail = chunks.remainder().chunks_exact(2);
+    for c in &mut tail {
+        wide += u16::from_be_bytes([c[0], c[1]]) as u64;
     }
-    acc
+    if let [last] = tail.remainder() {
+        wide += u16::from_be_bytes([*last, 0]) as u64;
+    }
+    // Fold the deferred end-around carries down to 16 bits so callers can
+    // keep accumulating into a u32 without overflow.
+    while wide >> 16 != 0 {
+        wide = (wide & 0xFFFF) + (wide >> 16);
+    }
+    wide as u32
 }
 
 fn fold(mut acc: u32) -> u16 {
@@ -79,7 +97,38 @@ mod tests {
         assert!(!verify(&data), "corruption detected");
     }
 
+    /// The textbook byte-at-a-time reference: accumulate each 16-bit word
+    /// with an immediate end-around carry. The fast path must match this
+    /// exactly on every input.
+    fn naive_checksum(data: &[u8]) -> u16 {
+        let mut acc: u32 = 0;
+        let mut i = 0;
+        while i < data.len() {
+            let hi = data[i] as u32;
+            let lo = if i + 1 < data.len() { data[i + 1] as u32 } else { 0 };
+            acc += (hi << 8) | lo;
+            if acc > 0xFFFF {
+                acc = (acc & 0xFFFF) + 1;
+            }
+            i += 2;
+        }
+        !(acc as u16)
+    }
+
     mirage_testkit::property! {
+        /// The folded wide-word sum is byte-for-byte equivalent to the
+        /// naive immediate-carry reference, across lengths that exercise
+        /// every chunk-remainder shape (0–3 trailing bytes).
+        fn prop_fast_sum_matches_naive(data in collection::vec(any::<u8>(), 0..1024)) {
+            assert_eq!(checksum(&data), naive_checksum(&data));
+            // Also check every shorter prefix alignment near the tail, so
+            // each remainder length is hit even when the generator favours
+            // particular sizes.
+            for cut in data.len().saturating_sub(5)..=data.len() {
+                assert_eq!(checksum(&data[..cut]), naive_checksum(&data[..cut]));
+            }
+        }
+
         /// Inserting the computed checksum always makes verification pass,
         /// and any single-bit flip breaks it.
         fn prop_checksum_detects_bit_flips(

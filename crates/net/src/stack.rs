@@ -7,12 +7,13 @@
 //! traffic directly to the relevant application thread, blocking on
 //! intermediate system events if necessary" (paper §3.5).
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::net::Ipv4Addr;
 use std::sync::Arc;
 
 use mirage_testkit::sync::Mutex;
 
+use mirage_cstruct::{PagePool, PktBuf, PAGE_SIZE};
 use mirage_devices::netfront::NetHandle;
 use mirage_hypervisor::{Dur, Time};
 use mirage_runtime::channel::{self, Notify, Receiver, Sender};
@@ -21,6 +22,7 @@ use mirage_runtime::Runtime;
 
 use crate::addr::{in_subnet, Mac};
 use crate::arp::{ArpAction, ArpCache, ArpOp, ArpPacket};
+use crate::checksum;
 use crate::dhcp;
 use crate::ethernet::{self, EtherType, Frame};
 use crate::icmp::Echo;
@@ -91,13 +93,14 @@ impl std::fmt::Display for NetError {
 impl std::error::Error for NetError {}
 
 enum StreamEvent {
-    Data(Vec<u8>),
+    Data(PktBuf),
     Eof,
     Closed,
 }
 
 /// Datagram delivered to a bound UDP socket: (source ip, source port, payload).
-type UdpDelivery = (Ipv4Addr, u16, Vec<u8>);
+/// The payload is a view over the received frame's page — no copy.
+type UdpDelivery = (Ipv4Addr, u16, PktBuf);
 
 enum Cmd {
     UdpBind {
@@ -108,7 +111,7 @@ enum Cmd {
         src_port: u16,
         dst: Ipv4Addr,
         dst_port: u16,
-        payload: Vec<u8>,
+        payload: PktBuf,
     },
     TcpListen {
         port: u16,
@@ -121,7 +124,7 @@ enum Cmd {
     },
     TcpSend {
         id: u64,
-        data: Vec<u8>,
+        data: PktBuf,
     },
     TcpClose {
         id: u64,
@@ -151,22 +154,26 @@ impl UdpSocket {
         self.port
     }
 
-    /// Awaits the next datagram as `(source ip, source port, payload)`.
+    /// Awaits the next datagram as `(source ip, source port, payload)`. The
+    /// payload is a [`PktBuf`] view over the received frame — by reference
+    /// all the way from the device ring.
     ///
     /// # Errors
     ///
     /// [`NetError::StackGone`] if the stack task has exited.
-    pub async fn recv_from(&mut self) -> Result<(Ipv4Addr, u16, Vec<u8>), NetError> {
+    pub async fn recv_from(&mut self) -> Result<(Ipv4Addr, u16, PktBuf), NetError> {
         self.rx.recv().await.map_err(|_| NetError::StackGone)
     }
 
-    /// Sends a datagram.
-    pub fn send_to(&self, dst: Ipv4Addr, dst_port: u16, payload: Vec<u8>) {
+    /// Sends a datagram. Accepts anything convertible to a [`PktBuf`] —
+    /// an owned `Vec<u8>` or a received payload view are handed over
+    /// without copying.
+    pub fn send_to(&self, dst: Ipv4Addr, dst_port: u16, payload: impl Into<PktBuf>) {
         let _ = self.cmd.send(Cmd::UdpSend {
             src_port: self.port,
             dst,
             dst_port,
-            payload,
+            payload: payload.into(),
         });
     }
 }
@@ -218,18 +225,25 @@ impl std::fmt::Debug for TcpStream {
 
 impl TcpStream {
     /// Queues bytes for transmission (buffered; the stack applies TCP flow
-    /// and congestion control on the wire).
+    /// and congestion control on the wire). Copies `data` once to take
+    /// ownership — use [`TcpStream::write_buf`] to hand over an existing
+    /// buffer by reference instead.
     pub fn write(&self, data: &[u8]) {
-        let _ = self.cmd.send(Cmd::TcpSend {
-            id: self.id,
-            data: data.to_vec(),
-        });
+        self.write_buf(PktBuf::copy_from_slice(data));
+    }
+
+    /// Queues an owned buffer for transmission without copying: the stack,
+    /// the retransmit queue and the wire frames all share it by reference.
+    pub fn write_buf(&self, data: PktBuf) {
+        let _ = self.cmd.send(Cmd::TcpSend { id: self.id, data });
     }
 
     /// Awaits the next chunk of received data; `None` at end-of-stream.
-    pub async fn read(&mut self) -> Option<Vec<u8>> {
+    /// The chunk is a [`PktBuf`] view over the received page — reading
+    /// never copies payload bytes.
+    pub async fn read(&mut self) -> Option<PktBuf> {
         if !self.buffered.is_empty() {
-            return Some(std::mem::take(&mut self.buffered));
+            return Some(PktBuf::from_vec(std::mem::take(&mut self.buffered)));
         }
         if self.eof {
             return None;
@@ -249,7 +263,7 @@ impl TcpStream {
         let mut acc = std::mem::take(&mut self.buffered);
         while acc.len() < n {
             match self.read().await {
-                Some(chunk) => acc.extend(chunk),
+                Some(chunk) => acc.extend_from_slice(&chunk),
                 None => {
                     self.buffered = acc;
                     return None;
@@ -265,7 +279,7 @@ impl TcpStream {
     pub async fn read_to_end(&mut self) -> Vec<u8> {
         let mut acc = Vec::new();
         while let Some(chunk) = self.read().await {
-            acc.extend(chunk);
+            acc.extend_from_slice(&chunk);
         }
         acc
     }
@@ -284,7 +298,7 @@ impl TcpStream {
             match self.events.recv().await {
                 Ok(StreamEvent::Data(d)) => {
                     // Late data still counts as readable.
-                    self.buffered.extend(d);
+                    self.buffered.extend_from_slice(&d);
                 }
                 Ok(StreamEvent::Eof) => {
                     self.eof = true;
@@ -466,6 +480,11 @@ struct Inner {
     iss: u32,
     ping_seq: u16,
     cmd_tx_for_streams: Option<Sender<Cmd>>,
+    /// TX pages for single-pass frame assembly (headers + payload written
+    /// once, handed to the ring as one view).
+    pool: PagePool,
+    /// Connections with writes buffered since the last `flush_tx`.
+    dirty: HashSet<u64>,
 }
 
 const PING_TIMEOUT: Dur = Dur::secs(5);
@@ -501,6 +520,8 @@ impl Inner {
             iss: 10_000,
             ping_seq: 1,
             cmd_tx_for_streams: None,
+            pool: PagePool::new(256),
+            dirty: HashSet::new(),
         }
     }
 
@@ -533,6 +554,16 @@ impl Inner {
                 Either3::Second(Err(_)) => break, // all handles dropped
                 Either3::Third(()) => {}
             }
+            // Drain everything else that arrived in the same virtual
+            // instant before flushing, so TX batching sees the whole burst
+            // of writes rather than one segment train per write.
+            while let Some(frame) = self.nh.rx.try_recv() {
+                self.on_frame(&frame);
+            }
+            while let Some(cmd) = cmd_rx.try_recv() {
+                self.on_cmd(cmd);
+            }
+            self.flush_tx();
             self.on_timers();
         }
     }
@@ -563,7 +594,7 @@ impl Inner {
     fn emit_frame(&mut self, dst: Mac, ethertype: EtherType, payload: &[u8]) {
         let frame = ethernet::build(dst, self.mac, ethertype, payload);
         self.rt.charge(self.rt.costs().copy(frame.len()));
-        let _ = self.nh.tx.send(frame);
+        let _ = self.nh.tx.send(PktBuf::from_vec(frame));
     }
 
     fn send_ipv4(&mut self, dst: Ipv4Addr, proto: u8, payload: &[u8]) {
@@ -610,15 +641,144 @@ impl Inner {
     }
 
     fn emit_tcp(&mut self, local_port: u16, peer: (Ipv4Addr, u16), seg: &SegmentOut) {
+        // Fast path: destination MAC already resolved → assemble ethernet,
+        // IPv4 and TCP headers plus the payload into one pool page in a
+        // single pass and hand the ring that view directly.
+        let next_hop = match self.gateway {
+            Some(gw) if !in_subnet(peer.0, self.ip(), self.netmask) => gw,
+            _ => peer.0,
+        };
+        let now = self.rt.now();
+        if let Some(mac) = self.arp.get(next_hop, now) {
+            if let Some(frame) = self.build_tcp_frame(mac, local_port, peer, seg) {
+                self.rt.charge(self.rt.costs().copy(frame.len()));
+                let _ = self.nh.tx.send(frame);
+                return;
+            }
+        }
+        // Slow path: MAC unresolved (queue behind ARP), pool exhausted, or
+        // frame larger than a page — go through the Vec builders.
         let wire = tcp::build_segment(self.ip(), local_port, peer.0, peer.1, seg);
         self.send_ipv4(peer.0, protocol::TCP, &wire);
     }
 
+    fn build_tcp_frame(
+        &mut self,
+        dst_mac: Mac,
+        local_port: u16,
+        peer: (Ipv4Addr, u16),
+        seg: &SegmentOut,
+    ) -> Option<PktBuf> {
+        let mut opts = [0u8; 8];
+        let mut opts_len = 0;
+        if let Some(mss) = seg.mss {
+            opts[..2].copy_from_slice(&[2, 4]);
+            opts[2..4].copy_from_slice(&mss.to_be_bytes());
+            opts_len = 4;
+        }
+        if let Some(ws) = seg.wscale {
+            opts[opts_len..opts_len + 4].copy_from_slice(&[3, 3, ws, 1]); // + NOP pad
+            opts_len += 4;
+        }
+        let data_off = 20 + opts_len;
+        let t = ethernet::HEADER_LEN + ipv4::HEADER_LEN;
+        let total = t + data_off + seg.payload.len();
+        if total > PAGE_SIZE {
+            return None;
+        }
+        let mut page = self.pool.alloc().ok()?;
+        let src_ip = self.ip();
+        let ident = self.ident;
+        self.ident = self.ident.wrapping_add(1);
+        let b = page.as_mut_slice();
+        // Ethernet (wire layout per ethernet::build).
+        b[0..6].copy_from_slice(dst_mac.as_bytes());
+        b[6..12].copy_from_slice(self.mac.as_bytes());
+        b[12..14].copy_from_slice(&EtherType::Ipv4.to_u16().to_be_bytes());
+        // IPv4 (wire layout per ipv4::build).
+        let ip_total = (ipv4::HEADER_LEN + data_off + seg.payload.len()) as u16;
+        b[14] = 0x45;
+        b[15] = 0;
+        b[16..18].copy_from_slice(&ip_total.to_be_bytes());
+        b[18..20].copy_from_slice(&ident.to_be_bytes());
+        b[20..22].copy_from_slice(&0x4000u16.to_be_bytes()); // DF
+        b[22] = 64; // TTL
+        b[23] = protocol::TCP;
+        b[24] = 0;
+        b[25] = 0;
+        b[26..30].copy_from_slice(&src_ip.octets());
+        b[30..34].copy_from_slice(&peer.0.octets());
+        let ip_ck = checksum::checksum(&b[14..34]);
+        b[24..26].copy_from_slice(&ip_ck.to_be_bytes());
+        // TCP (wire layout per tcp::build_segment).
+        b[t..t + 2].copy_from_slice(&local_port.to_be_bytes());
+        b[t + 2..t + 4].copy_from_slice(&peer.1.to_be_bytes());
+        b[t + 4..t + 8].copy_from_slice(&seg.seq.to_be_bytes());
+        b[t + 8..t + 12].copy_from_slice(&seg.ack.to_be_bytes());
+        b[t + 12] = ((data_off / 4) as u8) << 4;
+        let mut fb = 0u8;
+        if seg.flags.fin {
+            fb |= 0x01;
+        }
+        if seg.flags.syn {
+            fb |= 0x02;
+        }
+        if seg.flags.rst {
+            fb |= 0x04;
+        }
+        if seg.flags.psh {
+            fb |= 0x08;
+        }
+        if seg.flags.ack {
+            fb |= 0x10;
+        }
+        b[t + 13] = fb;
+        b[t + 14..t + 16].copy_from_slice(&seg.window.to_be_bytes());
+        b[t + 16..t + 20].copy_from_slice(&[0, 0, 0, 0]); // checksum + urgent
+        b[t + 20..t + 20 + opts_len].copy_from_slice(&opts[..opts_len]);
+        b[t + data_off..total].copy_from_slice(&seg.payload);
+        if !seg.payload.is_empty() {
+            mirage_cstruct::record_serialize(seg.payload.len());
+        }
+        let tcp_ck = checksum::pseudo_checksum(src_ip, peer.0, protocol::TCP, &b[t..total]);
+        b[t + 16..t + 18].copy_from_slice(&tcp_ck.to_be_bytes());
+        page.truncate(total);
+        Some(PktBuf::from_page(page))
+    }
+
+    /// Flushes connections with buffered app data, once per poll-loop
+    /// iteration: every `write`/`write_buf` since the last flush was only
+    /// queued (`app_buffer`), so `transmit` here coalesces them into
+    /// MSS-sized segments and the ring sees a single burst instead of one
+    /// runt-terminated segment train per write.
+    fn flush_tx(&mut self) {
+        if self.dirty.is_empty() {
+            return;
+        }
+        let now = self.rt.now();
+        let ids: Vec<u64> = self.dirty.drain().collect();
+        for id in ids {
+            let segments = match self.conns.get_mut(&id) {
+                Some(e) if !e.dead => e.conn.transmit(now),
+                _ => continue,
+            };
+            if !segments.is_empty() {
+                self.apply_output(
+                    id,
+                    tcp::Output {
+                        segments,
+                        events: Vec::new(),
+                    },
+                );
+            }
+        }
+    }
+
     // --- inbound -----------------------------------------------------------
 
-    fn on_frame(&mut self, frame: &[u8]) {
+    fn on_frame(&mut self, frame: &PktBuf) {
         self.rt.charge(self.rt.costs().copy(frame.len().min(128)));
-        let Some(eth) = Frame::parse(frame) else {
+        let Some(eth) = Frame::parse(frame.as_slice()) else {
             return;
         };
         if eth.dst != self.mac && !eth.dst.is_broadcast() {
@@ -626,7 +786,10 @@ impl Inner {
         }
         match eth.ethertype {
             EtherType::Arp => self.on_arp(eth.payload),
-            EtherType::Ipv4 => self.on_ipv4(eth.payload),
+            EtherType::Ipv4 => {
+                let payload = frame.slice(ethernet::HEADER_LEN..);
+                self.on_ipv4(&payload);
+            }
             EtherType::Other(_) => {}
         }
     }
@@ -654,8 +817,8 @@ impl Inner {
         }
     }
 
-    fn on_ipv4(&mut self, payload: &[u8]) {
-        let Ok(pkt) = Ipv4Packet::parse(payload) else {
+    fn on_ipv4(&mut self, buf: &PktBuf) {
+        let Ok(pkt) = Ipv4Packet::parse(buf.as_slice()) else {
             return;
         };
         let for_us =
@@ -663,10 +826,22 @@ impl Inner {
         if !for_us {
             return;
         }
+        let (src, dst) = (pkt.src, pkt.dst);
+        // The IPv4 payload is not a suffix of the frame (ethernet padding
+        // may trail it), so the view is sliced by header length + total
+        // length rather than from an offset to the end.
+        let ihl = (buf.as_slice()[0] & 0x0F) as usize * 4;
+        let payload_len = pkt.payload.len();
         match pkt.protocol {
             protocol::ICMP => self.on_icmp(&pkt),
-            protocol::UDP => self.on_udp(&pkt),
-            protocol::TCP => self.on_tcp(&pkt),
+            protocol::UDP => {
+                let payload = buf.slice(ihl..ihl + payload_len);
+                self.on_udp(src, dst, &payload);
+            }
+            protocol::TCP => {
+                let payload = buf.slice(ihl..ihl + payload_len);
+                self.on_tcp(src, dst, &payload);
+            }
             _ => {}
         }
     }
@@ -687,8 +862,8 @@ impl Inner {
         }
     }
 
-    fn on_udp(&mut self, pkt: &Ipv4Packet<'_>) {
-        let Some(dgram) = UdpDatagram::parse(pkt.src, pkt.dst, pkt.payload) else {
+    fn on_udp(&mut self, src: Ipv4Addr, dst: Ipv4Addr, buf: &PktBuf) {
+        let Some(dgram) = UdpDatagram::parse(src, dst, buf.as_slice()) else {
             return;
         };
         // DHCP client traffic (port 68) is handled by the stack itself.
@@ -709,15 +884,17 @@ impl Inner {
             return;
         }
         if let Some(sock) = self.udp_socks.get(&dgram.dst_port) {
-            let _ = sock.send((pkt.src, dgram.src_port, dgram.payload.to_vec()));
+            // Deliver a view over the received page, not a copy.
+            let payload = buf.slice(udp::HEADER_LEN..udp::HEADER_LEN + dgram.payload.len());
+            let _ = sock.send((src, dgram.src_port, payload));
         }
     }
 
-    fn on_tcp(&mut self, pkt: &Ipv4Packet<'_>) {
-        let Some(seg) = TcpSegment::parse(pkt.src, pkt.dst, pkt.payload) else {
+    fn on_tcp(&mut self, src: Ipv4Addr, dst: Ipv4Addr, buf: &PktBuf) {
+        let Some(seg) = TcpSegment::parse(src, dst, buf) else {
             return;
         };
-        let quad = (pkt.src, seg.src_port, seg.dst_port);
+        let quad = (src, seg.src_port, seg.dst_port);
         let now = self.rt.now();
         let id = match self.quads.get(&quad) {
             Some(id) => *id,
@@ -737,9 +914,9 @@ impl Inner {
                             window: 0,
                             mss: None,
                             wscale: None,
-                            payload: Vec::new(),
+                            payload: PktBuf::empty(),
                         };
-                        self.emit_tcp(seg.dst_port, (pkt.src, seg.src_port), &rst);
+                        self.emit_tcp(seg.dst_port, (src, seg.src_port), &rst);
                     }
                     return;
                 }
@@ -755,9 +932,9 @@ impl Inner {
                         window: 0,
                         mss: None,
                         wscale: None,
-                        payload: Vec::new(),
+                        payload: PktBuf::empty(),
                     };
-                    self.emit_tcp(seg.dst_port, (pkt.src, seg.src_port), &rst);
+                    self.emit_tcp(seg.dst_port, (src, seg.src_port), &rst);
                     return;
                 }
                 let id = self.next_conn;
@@ -769,7 +946,7 @@ impl Inner {
                     id,
                     ConnEntry {
                         conn,
-                        peer: (pkt.src, seg.src_port),
+                        peer: (src, seg.src_port),
                         local_port: seg.dst_port,
                         events_tx: etx,
                         events_rx: Some(erx),
@@ -924,11 +1101,14 @@ impl Inner {
                 self.apply_output(id, out);
             }
             Cmd::TcpSend { id, data } => {
-                let out = match self.conns.get_mut(&id) {
-                    Some(e) if !e.dead => e.conn.app_send(&data, now),
-                    _ => return,
-                };
-                self.apply_output(id, out);
+                // Buffer only; `flush_tx` coalesces every write queued this
+                // poll-loop iteration into MSS-sized segments.
+                if let Some(e) = self.conns.get_mut(&id) {
+                    if !e.dead {
+                        e.conn.app_buffer(data);
+                        self.dirty.insert(id);
+                    }
+                }
             }
             Cmd::TcpClose { id } => {
                 let out = match self.conns.get_mut(&id) {

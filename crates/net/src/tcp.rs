@@ -23,8 +23,9 @@
 //! window is fixed rather than tracking application reads, and ACKs are
 //! immediate (no delayed-ACK timer).
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
 
+use mirage_cstruct::PktBuf;
 use mirage_hypervisor::{Dur, Time};
 
 use crate::checksum;
@@ -79,9 +80,10 @@ impl Flags {
     };
 }
 
-/// A parsed TCP segment (borrowing the payload).
+/// A parsed TCP segment. The payload is a [`PktBuf`] view over the received
+/// frame's page — parsing never copies payload bytes.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct TcpSegment<'a> {
+pub struct TcpSegment {
     /// Source port.
     pub src_port: u16,
     /// Destination port.
@@ -98,17 +100,18 @@ pub struct TcpSegment<'a> {
     pub mss: Option<u16>,
     /// Window-scale option, if present.
     pub wscale: Option<u8>,
-    /// Payload.
-    pub payload: &'a [u8],
+    /// Payload (a view into the same page as the headers).
+    pub payload: PktBuf,
 }
 
-impl<'a> TcpSegment<'a> {
-    /// Parses and checksum-verifies a segment from an IPv4 payload.
+impl TcpSegment {
+    /// Parses and checksum-verifies a segment from an IPv4 payload view.
     pub fn parse(
         src: std::net::Ipv4Addr,
         dst: std::net::Ipv4Addr,
-        data: &'a [u8],
-    ) -> Option<TcpSegment<'a>> {
+        buf: &PktBuf,
+    ) -> Option<TcpSegment> {
+        let data = buf.as_slice();
         if data.len() < 20 {
             return None;
         }
@@ -159,7 +162,9 @@ impl<'a> TcpSegment<'a> {
             window: u16::from_be_bytes([data[14], data[15]]),
             mss,
             wscale,
-            payload: &data[data_off..],
+            // The payload is a suffix of the TCP segment, so a sub-view
+            // of the same page suffices — no copy.
+            payload: buf.slice(data_off..),
         })
     }
 }
@@ -179,8 +184,8 @@ pub struct SegmentOut {
     pub mss: Option<u16>,
     /// Window-scale option to include.
     pub wscale: Option<u8>,
-    /// Payload bytes.
-    pub payload: Vec<u8>,
+    /// Payload bytes — a refcounted view into the send buffer, not a copy.
+    pub payload: PktBuf,
 }
 
 /// Serialises a segment into an IPv4 payload with checksum.
@@ -231,6 +236,9 @@ pub fn build_segment(
     d.extend_from_slice(&[0, 0, 0, 0]); // checksum + urgent
     d.extend_from_slice(&opts);
     d.extend_from_slice(&out.payload);
+    if !out.payload.is_empty() {
+        mirage_cstruct::record_serialize(out.payload.len());
+    }
     let c = checksum::pseudo_checksum(src, dst, protocol::TCP, &d);
     d[16..18].copy_from_slice(&c.to_be_bytes());
     d
@@ -268,8 +276,9 @@ pub enum State {
 pub enum Event {
     /// Three-way handshake completed.
     Connected,
-    /// In-order payload arrived.
-    Data(Vec<u8>),
+    /// In-order payload arrived — a view over the received page, shared
+    /// with the application by reference (paper Figure 2's "ext I/O data").
+    Data(PktBuf),
     /// The peer sent FIN (no more data will arrive).
     PeerFin,
     /// The connection was reset.
@@ -348,6 +357,80 @@ pub struct TcpStats {
     pub fast_retransmits: u64,
 }
 
+/// The unacknowledged-data buffer: a deque of refcounted [`PktBuf`] chunks
+/// rather than a flat byte queue, so queueing application data, carving
+/// MSS-sized segments and draining on ACK are all by-reference operations.
+/// Only a segment that straddles two chunks forces a (counted) gather copy.
+#[derive(Debug, Clone, Default)]
+struct SendBuf {
+    chunks: VecDeque<PktBuf>,
+    /// Bytes of the front chunk already acknowledged.
+    head_off: usize,
+    len: usize,
+}
+
+impl SendBuf {
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Appends a chunk (refcount bump, no copy).
+    fn push(&mut self, data: PktBuf) {
+        if !data.is_empty() {
+            self.len += data.len();
+            self.chunks.push_back(data);
+        }
+    }
+
+    /// Drops the first `n` bytes (ACK advanced past them).
+    fn advance(&mut self, n: usize) {
+        let mut n = n.min(self.len);
+        self.len -= n;
+        while n > 0 {
+            let avail = self.chunks.front().expect("bytes remain").len() - self.head_off;
+            if n >= avail {
+                n -= avail;
+                self.head_off = 0;
+                self.chunks.pop_front();
+            } else {
+                self.head_off += n;
+                n = 0;
+            }
+        }
+    }
+
+    /// View of `len` bytes starting `start` bytes past the unacked base.
+    /// Zero-copy when the range lies within one chunk; gathers across
+    /// chunk boundaries otherwise (a counted copy).
+    fn range(&self, start: usize, len: usize) -> PktBuf {
+        debug_assert!(start + len <= self.len, "range beyond buffered data");
+        if len == 0 {
+            return PktBuf::empty();
+        }
+        let mut off = self.head_off + start;
+        let mut i = 0;
+        while self.chunks[i].len() <= off {
+            off -= self.chunks[i].len();
+            i += 1;
+        }
+        if off + len <= self.chunks[i].len() {
+            return self.chunks[i].slice(off..off + len);
+        }
+        let mut out = Vec::with_capacity(len);
+        let mut remaining = len;
+        while remaining > 0 {
+            let chunk = &self.chunks[i];
+            let take = remaining.min(chunk.len() - off);
+            out.extend_from_slice(&chunk.as_slice()[off..off + take]);
+            remaining -= take;
+            off = 0;
+            i += 1;
+        }
+        mirage_cstruct::record_copy(len);
+        PktBuf::from_vec(out)
+    }
+}
+
 /// The TCP connection state machine.
 #[derive(Debug, Clone)]
 pub struct Connection {
@@ -358,14 +441,14 @@ pub struct Connection {
     snd_una: u32,
     snd_nxt: u32,
     snd_wnd: usize,
-    snd_buf: std::collections::VecDeque<u8>,
+    snd_buf: SendBuf,
     syn_unacked: bool,
     fin_queued: bool,
     fin_sent: bool,
     fin_seq: u32,
     // Receive side.
     rcv_nxt: u32,
-    ooo: BTreeMap<u32, Vec<u8>>,
+    ooo: BTreeMap<u32, PktBuf>,
     peer_fin_seen: bool,
     // Congestion control.
     cwnd: usize,
@@ -420,7 +503,7 @@ impl Connection {
             snd_una: iss,
             snd_nxt: iss.wrapping_add(1), // SYN occupies one sequence number
             snd_wnd: mss,
-            snd_buf: std::collections::VecDeque::new(),
+            snd_buf: SendBuf::default(),
             syn_unacked: true,
             fin_queued: false,
             fin_sent: false,
@@ -494,7 +577,7 @@ impl Connection {
             } else {
                 None
             },
-            payload: Vec::new(),
+            payload: PktBuf::empty(),
         }
     }
 
@@ -507,7 +590,7 @@ impl Connection {
             window: self.my_window_field(),
             mss: None,
             wscale: None,
-            payload: Vec::new(),
+            payload: PktBuf::empty(),
         }
     }
 
@@ -534,16 +617,27 @@ impl Connection {
     }
 
     /// Queues application data; returns segments to emit now.
-    pub fn app_send(&mut self, data: &[u8], now: Time) -> Output {
-        debug_assert!(matches!(
-            self.state,
-            State::Established | State::CloseWait | State::SynSent | State::SynRcvd
-        ));
-        self.snd_buf.extend(data);
+    ///
+    /// Accepts anything convertible to [`PktBuf`]; passing an owned
+    /// `PktBuf`/`Vec<u8>` queues it by reference, passing a slice copies.
+    pub fn app_send(&mut self, data: impl Into<PktBuf>, now: Time) -> Output {
+        self.app_buffer(data);
         Output {
             segments: self.transmit(now),
             events: Vec::new(),
         }
+    }
+
+    /// Queues application data *without* transmitting — the socket layer
+    /// uses this to coalesce several writes into one MSS-packed burst per
+    /// poll iteration (paper §4.2's batched grants), flushing via
+    /// [`Connection::transmit`] afterwards.
+    pub fn app_buffer(&mut self, data: impl Into<PktBuf>) {
+        debug_assert!(matches!(
+            self.state,
+            State::Established | State::CloseWait | State::SynSent | State::SynRcvd
+        ));
+        self.snd_buf.push(data.into());
     }
 
     /// Initiates close; queues a FIN after all buffered data.
@@ -591,13 +685,7 @@ impl Connection {
             if chunk == 0 {
                 break;
             }
-            let payload: Vec<u8> = self
-                .snd_buf
-                .iter()
-                .skip(sent_bytes)
-                .take(chunk)
-                .copied()
-                .collect();
+            let payload = self.snd_buf.range(sent_bytes, chunk);
             let last = chunk == unsent;
             self.stats.segs_out += 1;
             self.stats.bytes_out += chunk as u64;
@@ -637,7 +725,7 @@ impl Connection {
                     window: self.my_window_field(),
                     mss: None,
                     wscale: None,
-                    payload: Vec::new(),
+                    payload: PktBuf::empty(),
                 });
                 self.snd_nxt = self.snd_nxt.wrapping_add(1);
             }
@@ -721,13 +809,7 @@ impl Connection {
             let sent_bytes = self.snd_nxt.wrapping_sub(data_base) as usize;
             let outstanding = sent_bytes.saturating_sub(offset).min(self.snd_buf.len() - offset);
             let chunk = self.effective_mss().min(outstanding.max(1)).min(self.snd_buf.len() - offset);
-            let payload: Vec<u8> = self
-                .snd_buf
-                .iter()
-                .skip(offset)
-                .take(chunk)
-                .copied()
-                .collect();
+            let payload = self.snd_buf.range(offset, chunk);
             self.stats.segs_out += 1;
             out.push(SegmentOut {
                 seq: self.snd_una,
@@ -755,14 +837,14 @@ impl Connection {
                 window: self.my_window_field(),
                 mss: None,
                 wscale: None,
-                payload: Vec::new(),
+                payload: PktBuf::empty(),
             });
         }
         out
     }
 
     /// Feeds an inbound segment through the state machine.
-    pub fn on_segment(&mut self, seg: &TcpSegment<'_>, now: Time) -> Output {
+    pub fn on_segment(&mut self, seg: &TcpSegment, now: Time) -> Output {
         let mut out = Output::default();
         self.stats.segs_in += 1;
 
@@ -827,7 +909,7 @@ impl Connection {
         out
     }
 
-    fn learn_options(&mut self, seg: &TcpSegment<'_>) {
+    fn learn_options(&mut self, seg: &TcpSegment) {
         if let Some(mss) = seg.mss {
             self.peer_mss = mss as usize;
         }
@@ -843,7 +925,7 @@ impl Connection {
         }
     }
 
-    fn scaled_window(&self, seg: &TcpSegment<'_>) -> usize {
+    fn scaled_window(&self, seg: &TcpSegment) -> usize {
         let shift = if self.ws_enabled && !seg.flags.syn {
             self.peer_wscale
         } else {
@@ -852,7 +934,7 @@ impl Connection {
         (seg.window as usize) << shift
     }
 
-    fn process_ack(&mut self, seg: &TcpSegment<'_>, now: Time) -> Output {
+    fn process_ack(&mut self, seg: &TcpSegment, now: Time) -> Output {
         let mut out = Output::default();
         let ack = seg.ack;
         if seq::gt(ack, self.snd_nxt) {
@@ -881,7 +963,7 @@ impl Connection {
             }
             // Data bytes.
             let from_buf = advanced.min(self.snd_buf.len());
-            self.snd_buf.drain(..from_buf);
+            self.snd_buf.advance(from_buf);
             self.snd_una = ack;
 
             // RTT sample (Karn-safe: sample invalidated on retransmit).
@@ -961,19 +1043,25 @@ impl Connection {
         out
     }
 
-    fn process_payload(&mut self, seg: &TcpSegment<'_>, now: Time) -> Output {
+    fn process_payload(&mut self, seg: &TcpSegment, now: Time) -> Output {
         let mut out = Output::default();
         let mut seq_no = seg.seq;
-        let mut payload = seg.payload;
+        // A refcount bump: the event, the OOO stash and the caller all share
+        // the received page.
+        let mut payload = seg.payload.clone();
 
-        // Trim bytes we already have.
+        // Trim bytes we already have (sub-view, no copy).
         if seq::lt(seq_no, self.rcv_nxt) {
             let skip = self.rcv_nxt.wrapping_sub(seq_no) as usize;
             if skip >= payload.len() && !seg.flags.fin {
                 out.segments.push(self.make_ack());
                 return out;
             }
-            payload = payload.get(skip..).unwrap_or(&[]);
+            payload = if skip < payload.len() {
+                payload.slice(skip..)
+            } else {
+                PktBuf::empty()
+            };
             seq_no = self.rcv_nxt;
         }
 
@@ -981,7 +1069,7 @@ impl Connection {
             if !payload.is_empty() {
                 self.rcv_nxt = self.rcv_nxt.wrapping_add(payload.len() as u32);
                 self.stats.bytes_in += payload.len() as u64;
-                out.events.push(Event::Data(payload.to_vec()));
+                out.events.push(Event::Data(payload.clone()));
                 // Drain contiguous out-of-order data.
                 while let Some((&s, _)) = self.ooo.first_key_value() {
                     if seq::gt(s, self.rcv_nxt) {
@@ -990,10 +1078,10 @@ impl Connection {
                     let (s, data) = self.ooo.pop_first().expect("peeked");
                     let skip = self.rcv_nxt.wrapping_sub(s) as usize;
                     if skip < data.len() {
-                        let fresh = &data[skip..];
+                        let fresh = data.slice(skip..);
                         self.rcv_nxt = self.rcv_nxt.wrapping_add(fresh.len() as u32);
                         self.stats.bytes_in += fresh.len() as u64;
-                        out.events.push(Event::Data(fresh.to_vec()));
+                        out.events.push(Event::Data(fresh));
                     }
                 }
             }
@@ -1014,10 +1102,15 @@ impl Connection {
             }
             out.segments.push(self.make_ack());
         } else if seq::gt(seq_no, self.rcv_nxt) {
-            // Out of order: stash and send a duplicate ACK.
+            // Out of order: stash a view and send a duplicate ACK. When two
+            // segments start at the same sequence number keep the longer
+            // one, so an overlapping retransmission never shrinks coverage.
             let in_window = seq_no.wrapping_sub(self.rcv_nxt) as usize <= self.cfg.recv_buf;
             if in_window && !payload.is_empty() {
-                self.ooo.entry(seq_no).or_insert_with(|| payload.to_vec());
+                let stash = self.ooo.entry(seq_no).or_insert_with(PktBuf::empty);
+                if payload.len() > stash.len() {
+                    *stash = payload.clone();
+                }
             }
             out.segments.push(self.make_ack());
         } else if seg.flags.fin {
@@ -1079,7 +1172,7 @@ mod tests {
             *now += Dur::millis(1);
             let mut quiet = true;
             for seg in std::mem::take(a_out) {
-                let wire = build_segment(A, 1000, B, 2000, &seg);
+                let wire = PktBuf::from_vec(build_segment(A, 1000, B, 2000, &seg));
                 idx += 1;
                 if !fault(idx, true) {
                     continue;
@@ -1091,7 +1184,7 @@ mod tests {
                 quiet = false;
             }
             for seg in std::mem::take(b_out) {
-                let wire = build_segment(B, 2000, A, 1000, &seg);
+                let wire = PktBuf::from_vec(build_segment(B, 2000, A, 1000, &seg));
                 idx += 1;
                 if !fault(idx, false) {
                     continue;
@@ -1269,7 +1362,7 @@ mod tests {
             window: 0,
             mss: None,
             wscale: None,
-            payload: &[],
+            payload: PktBuf::empty(),
         };
         let out = client.on_segment(&rst, Time::ZERO + Dur::secs(1));
         assert!(out.events.contains(&Event::Reset));
@@ -1342,7 +1435,7 @@ mod tests {
         let (mut client, mut server, mut c_out, mut s_out, mut now) = handshake();
         let out = client.app_send(b"exactly-once", now);
         let seg = &out.segments[0];
-        let wire = build_segment(A, 1000, B, 2000, seg);
+        let wire = PktBuf::from_vec(build_segment(A, 1000, B, 2000, seg));
         let parsed = TcpSegment::parse(A, B, &wire).unwrap();
         let mut events = Vec::new();
         // Deliver the same segment three times (a duplicating network).
@@ -1366,8 +1459,8 @@ mod tests {
         let out2 = client.app_send(&[b'y'; 100], now);
         let first = &out.segments[0];
         let second = &out2.segments[0];
-        let w1 = build_segment(A, 1000, B, 2000, first);
-        let w2 = build_segment(A, 1000, B, 2000, second);
+        let w1 = PktBuf::from_vec(build_segment(A, 1000, B, 2000, first));
+        let w2 = PktBuf::from_vec(build_segment(A, 1000, B, 2000, second));
         let p1 = TcpSegment::parse(A, B, &w1).unwrap();
         let p2 = TcpSegment::parse(A, B, &w2).unwrap();
 
@@ -1398,9 +1491,9 @@ mod tests {
             window: 0xFFFF,
             mss: Some(1460),
             wscale: Some(7),
-            payload: b"hello".to_vec(),
+            payload: PktBuf::from_vec(b"hello".to_vec()),
         };
-        let wire = build_segment(A, 80, B, 1234, &out);
+        let wire = PktBuf::from_vec(build_segment(A, 80, B, 1234, &out));
         let seg = TcpSegment::parse(A, B, &wire).unwrap();
         assert_eq!(seg.src_port, 80);
         assert_eq!(seg.dst_port, 1234);
@@ -1421,11 +1514,11 @@ mod tests {
             window: 100,
             mss: None,
             wscale: None,
-            payload: b"data".to_vec(),
+            payload: PktBuf::from_vec(b"data".to_vec()),
         };
         let mut wire = build_segment(A, 80, B, 1234, &out);
         wire[22] ^= 0x40;
-        assert!(TcpSegment::parse(A, B, &wire).is_none());
+        assert!(TcpSegment::parse(A, B, &PktBuf::from_vec(wire)).is_none());
     }
 
     mirage_testkit::property! {
@@ -1454,6 +1547,63 @@ mod tests {
             assert_eq!(collect_data(&ev_s), data);
         }
 
+        /// Out-of-order reassembly under `PktBuf` views: any shuffled set of
+        /// segments tiling the stream — plus redundant overlapping segments —
+        /// reassembles to exactly the original bytes, delivered once each.
+        fn prop_ooo_reassembly_under_views(
+            len in 200usize..6000,
+            cuts in collection::vec(any::<usize>(), 1..12),
+            extras in collection::vec((any::<usize>(), any::<usize>()), 0..8),
+            shuffle in collection::vec(any::<usize>(), 4..32),
+        ) {
+            // handshake(): client iss 100, server iss 9000 — so the first
+            // data byte towards the server is seq 101, acking 9001.
+            let (_client, mut server, _c_out, _s_out, now) = handshake();
+            let data: Vec<u8> = (0..len).map(|i| (i * 13 % 251) as u8).collect();
+            // Tile [0, len) at pseudo-random cut points.
+            let mut points: Vec<usize> = cuts.iter().map(|c| c % (len + 1)).collect();
+            points.push(0);
+            points.push(len);
+            points.sort_unstable();
+            points.dedup();
+            let mut ranges: Vec<(usize, usize)> =
+                points.windows(2).map(|w| (w[0], w[1])).collect();
+            // Redundant overlapping ranges on top of the tiling.
+            for (a, b) in extras {
+                let s = a % len;
+                ranges.push((s, (s + 1 + b % 1460).min(len)));
+            }
+            // Split every range at the MSS, then shuffle deterministically.
+            let mut segs = Vec::new();
+            for (s, e) in ranges {
+                let mut s = s;
+                while s < e {
+                    let seg_end = (s + 1460).min(e);
+                    segs.push((s, seg_end));
+                    s = seg_end;
+                }
+            }
+            for i in (1..segs.len()).rev() {
+                segs.swap(i, shuffle[i % shuffle.len()] % (i + 1));
+            }
+            let mut events = Vec::new();
+            for (s, e) in segs {
+                let out = SegmentOut {
+                    seq: 101u32.wrapping_add(s as u32),
+                    ack: 9001,
+                    flags: Flags::ACK,
+                    window: 0xFFFF,
+                    mss: None,
+                    wscale: None,
+                    payload: PktBuf::from_vec(data[s..e].to_vec()),
+                };
+                let wire = PktBuf::from_vec(build_segment(A, 1000, B, 2000, &out));
+                let parsed = TcpSegment::parse(A, B, &wire).unwrap();
+                events.extend(server.on_segment(&parsed, now).events);
+            }
+            assert_eq!(collect_data(&events), data);
+        }
+
         /// Segment wire format round-trips for arbitrary field values.
         fn prop_wire_round_trip(seq in any::<u32>(), ack in any::<u32>(), win in any::<u16>(),
                                 payload in collection::vec(any::<u8>(), 0..64)) {
@@ -1463,9 +1613,9 @@ mod tests {
                 window: win,
                 mss: None,
                 wscale: None,
-                payload: payload.clone(),
+                payload: PktBuf::from_vec(payload.clone()),
             };
-            let wire = build_segment(A, 1, B, 2, &out);
+            let wire = PktBuf::from_vec(build_segment(A, 1, B, 2, &out));
             let seg = TcpSegment::parse(A, B, &wire).unwrap();
             assert_eq!(seg.seq, seq);
             assert_eq!(seg.ack, ack);

@@ -1,0 +1,84 @@
+#!/usr/bin/env bash
+# Network-path benchmark harness: runs the Figure 8 (TCP throughput),
+# Figure 12 (dynamic web) and zero-copy ablation benches and distils the
+# headline numbers into BENCH_net.json at the repo root.
+#
+#   scripts/bench.sh            # run benches, write BENCH_net.json
+#
+# The micro_zerocopy bench asserts the copy-count gate itself (at most one
+# software copy per delivered payload byte on the HTTP static-file path);
+# a regression there fails this script before the JSON is written.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out=BENCH_net.json
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+run_bench() {
+    local name="$1"
+    echo "== bench: $name"
+    cargo bench --offline -p mirage-bench --bench "$name" | tee "$tmp/$name.out"
+}
+
+run_bench fig08_tcp
+run_bench fig12_web
+run_bench micro_zerocopy
+
+python3 - "$tmp" "$out" <<'PY'
+import json, re, sys
+
+tmp, out = sys.argv[1], sys.argv[2]
+
+def text(name):
+    with open(f"{tmp}/{name}.out") as f:
+        return f.read()
+
+def criterion(blob):
+    """The trailing {"name":...} summary lines each bench emits."""
+    return [json.loads(l) for l in blob.splitlines() if l.startswith('{"name"')]
+
+result = {"benches": {}}
+
+# Figure 8: the live-stack throughput table (Mb/s, 1 and 10 flows).
+fig08 = text("fig08_tcp")
+tcp = {}
+for line in fig08.splitlines():
+    m = re.match(r"\s*(Linux to Linux|Linux to Mirage|Mirage to Linux)\s+(\d+)\s+(\d+)", line)
+    if m:
+        tcp[m.group(1)] = {"mbps_1flow": int(m.group(2)), "mbps_10flows": int(m.group(3))}
+result["benches"]["fig08_tcp"] = {"throughput": tcp, "criterion": criterion(fig08)}
+
+# Figure 12: the real B-tree request-path measurement.
+result["benches"]["fig12_web"] = {"criterion": criterion(text("fig12_web"))}
+
+# Zero-copy ablation: discipline speedup + the HTTP copy audit.
+zc = text("micro_zerocopy")
+entry = {"criterion": criterion(zc)}
+m = re.search(r"zero-copy speedup: ([\d.]+)x", zc)
+if m:
+    entry["zero_copy_speedup"] = float(m.group(1))
+m = re.search(
+    r"http static path: (\d+) B delivered, (\d+) software copies \((\d+) B\), "
+    r"(\d+) serialisations \((\d+) B\) -> ([\d.]+) copied bytes per delivered byte",
+    zc,
+)
+if m:
+    entry["http_static_path"] = {
+        "delivered_bytes": int(m.group(1)),
+        "copies": int(m.group(2)),
+        "copy_bytes": int(m.group(3)),
+        "serializes": int(m.group(4)),
+        "serialize_bytes": int(m.group(5)),
+        "copied_bytes_per_delivered_byte": float(m.group(6)),
+    }
+result["benches"]["micro_zerocopy"] = entry
+
+with open(out, "w") as f:
+    json.dump(result, f, indent=2)
+    f.write("\n")
+print(f"wrote {out}")
+PY
+
+echo "== bench: done"

@@ -5,6 +5,8 @@
 #   scripts/verify.sh                # build, test, gate, examples
 #   scripts/verify.sh --determinism  # additionally run the seeded
 #                                    # double-test-run determinism check
+#   scripts/verify.sh --bench        # additionally run scripts/bench.sh
+#                                    # and gate on the zero-copy budget
 #
 # The workspace is fully self-contained (every dependency is a path
 # dependency), so everything here runs with --offline: if a registry
@@ -42,6 +44,22 @@ for ex in quickstart boot_storm dns_appliance web_appliance openflow_appliance; 
     echo "   -- $ex"
     cargo run --release --offline --example "$ex" > /dev/null
 done
+
+if [[ "${1:-}" == "--bench" ]]; then
+    echo "== bench: network-path figures + zero-copy gate"
+    scripts/bench.sh
+    # The ablation bench already asserts the budget internally; re-check
+    # the recorded number so a stale/edited JSON can't mask a regression.
+    copies_per_byte="$(jq -r \
+        '.benches.micro_zerocopy.http_static_path.copied_bytes_per_delivered_byte' \
+        BENCH_net.json)"
+    echo "   copied bytes per delivered byte: $copies_per_byte"
+    awk -v c="$copies_per_byte" 'BEGIN { exit !(c != "null" && c <= 1.0) }' || {
+        echo "FAIL: HTTP static path exceeds one software copy per delivered byte" >&2
+        exit 1
+    }
+    echo "   ok (zero-copy budget held)"
+fi
 
 if [[ "${1:-}" == "--determinism" ]]; then
     echo "== determinism: two test runs under one seed must be identical"

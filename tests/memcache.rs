@@ -57,18 +57,18 @@ fn memcache_appliance_serves_the_text_protocol() {
             stream.write(b"set motd 0 0 13\r\nhello mirage!\r\n");
             let mut buf = Vec::new();
             while !buf.ends_with(b"STORED\r\n") {
-                buf.extend(stream.read().await.expect("server alive"));
+                buf.extend_from_slice(&stream.read().await.expect("server alive"));
             }
             stream.write(b"get motd\r\n");
             while !buf.ends_with(b"END\r\n") {
-                buf.extend(stream.read().await.expect("server alive"));
+                buf.extend_from_slice(&stream.read().await.expect("server alive"));
             }
             let text = String::from_utf8_lossy(&buf);
             assert!(text.contains("VALUE motd 0 13"), "{text}");
             assert!(text.contains("hello mirage!"), "{text}");
             stream.write(b"delete motd\r\n");
             while !buf.ends_with(b"DELETED\r\n") {
-                buf.extend(stream.read().await.expect("server alive"));
+                buf.extend_from_slice(&stream.read().await.expect("server alive"));
             }
             stream.close();
             stream.wait_closed().await;
