@@ -39,6 +39,8 @@ pub struct DiskProfile {
     pub latency: Dur,
     /// Sustained transfer bandwidth in bits per second.
     pub bandwidth_bps: u64,
+    /// Seeded fault plan applied by the backend (`None`: a perfect device).
+    pub faults: Option<crate::netem::DiskFaultPlan>,
 }
 
 impl DiskProfile {
@@ -47,7 +49,14 @@ impl DiskProfile {
         DiskProfile {
             latency: Dur::micros(18),
             bandwidth_bps: 13_600_000_000, // 1.7 GB/s
+            faults: None,
         }
+    }
+
+    /// The same device with a fault plan attached.
+    pub fn with_faults(mut self, faults: crate::netem::DiskFaultPlan) -> DiskProfile {
+        self.faults = Some(faults);
+        self
     }
 
     /// Wire/flash transfer time for `bytes` (the device-occupancy part).

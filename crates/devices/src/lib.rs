@@ -22,12 +22,14 @@
 
 pub mod blk;
 pub mod netback;
+pub mod netem;
 pub mod netfront;
 pub mod vchan;
 pub mod xenstore;
 
 pub use blk::{BlkCompletion, BlkHandle, BlkOp, BlkRequest, Blkfront, DiskProfile, SimulatedDisk};
-pub use netback::{DriverDomain, NetProfile, Tap};
+pub use netback::{DriverDomain, DriverStats, NetProfile, Tap};
+pub use netem::{DiskFaultPlan, Netem, NetemConfig, NetemStats};
 pub use netfront::{CopyDiscipline, NetHandle, Netfront};
 pub use vchan::{VchanEndpoint, VchanHandle};
 pub use xenstore::Xenstore;

@@ -12,6 +12,7 @@
 use std::collections::{BinaryHeap, HashMap, HashSet, VecDeque};
 use std::sync::Arc;
 
+use mirage_testkit::rng::Rng;
 use mirage_testkit::sync::Mutex;
 
 use mirage_cstruct::PktBuf;
@@ -21,6 +22,7 @@ use mirage_hypervisor::{DomainEnv, DomainId, Dur, Guest, Step, Time, Wake};
 use mirage_ring::BackRing;
 
 use crate::blk::{wire as blkwire, DiskProfile, SimulatedDisk, SECTOR_SIZE};
+use crate::netem::{DiskFaultPlan, Netem};
 use crate::netfront::{gref_only, parse_gref, parse_tx_req, rx_rsp};
 use crate::xenstore::Xenstore;
 
@@ -88,6 +90,40 @@ struct NetBackendInst {
     mapped: HashMap<u32, SharedPage>,
     out_queue: VecDeque<PktBuf>,
     out_drops: u64,
+    /// Set while the frontend has frames queued but no posted rx buffer —
+    /// lets tail drops be attributed to a dead/stalled guest rather than
+    /// ordinary congestion.
+    rx_starved: bool,
+}
+
+/// A frame the link conditioner is holding until `release_at`.
+struct DelayedFrame {
+    release_at: Time,
+    seq: u64,
+    src_idx: usize,
+    frame: PktBuf,
+}
+
+impl PartialEq for DelayedFrame {
+    fn eq(&self, other: &Self) -> bool {
+        self.release_at == other.release_at && self.seq == other.seq
+    }
+}
+impl Eq for DelayedFrame {}
+impl PartialOrd for DelayedFrame {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for DelayedFrame {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Min-heap by (release time, offer order): ties release in the
+        // order the conditioner saw them, keeping runs deterministic.
+        other
+            .release_at
+            .cmp(&self.release_at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
 }
 
 struct PendingBlk {
@@ -95,6 +131,7 @@ struct PendingBlk {
     gref: GrantRef,
     id: u64,
     is_read: bool,
+    ok: bool,
     sector: u64,
     count: u16,
 }
@@ -161,14 +198,35 @@ impl NetProfile {
 }
 
 /// Counters for the whole driver domain.
+///
+/// Drops are split by reason so chaos tests can distinguish *injected*
+/// loss (netem) from *organic* loss (a congested or dead guest).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct DriverStats {
     /// Frames switched.
     pub frames_switched: u64,
-    /// Frames dropped (congested guest / no posted rx buffer).
-    pub frames_dropped: u64,
+    /// Frames tail-dropped at a live guest's full output queue.
+    pub frames_dropped_congestion: u64,
+    /// Frames the [`Netem`] link conditioner refused to deliver.
+    pub frames_dropped_netem: u64,
+    /// Frames tail-dropped while the guest had stopped posting rx buffers
+    /// (typically: the domain was killed mid-connection).
+    pub frames_dropped_no_rx_buffer: u64,
     /// Block requests completed.
     pub blk_completed: u64,
+    /// Injected transient read failures.
+    pub blk_read_errors: u64,
+    /// Injected transient write failures (nothing persisted).
+    pub blk_write_errors: u64,
+    /// Injected torn writes (a prefix persisted, completion failed).
+    pub blk_torn_writes: u64,
+}
+
+impl DriverStats {
+    /// Total frames dropped for any reason.
+    pub fn frames_dropped(&self) -> u64 {
+        self.frames_dropped_congestion + self.frames_dropped_netem + self.frames_dropped_no_rx_buffer
+    }
 }
 
 /// The dom0 guest: hosts every backend plus the virtual switch.
@@ -183,6 +241,10 @@ pub struct DriverDomain {
     mac_table: HashMap<[u8; 6], usize>,
     taps: Vec<Tap>,
     stats: Arc<Mutex<DriverStats>>,
+    netem: Option<Netem>,
+    delayed: BinaryHeap<DelayedFrame>,
+    delay_seq: u64,
+    disk_rng: Rng,
 }
 
 impl DriverDomain {
@@ -209,12 +271,29 @@ impl DriverDomain {
             mac_table: HashMap::new(),
             taps: Vec::new(),
             stats: Arc::new(Mutex::new(DriverStats::default())),
+            netem: None,
+            delayed: BinaryHeap::new(),
+            delay_seq: 0,
+            disk_rng: Rng::for_stream(mirage_testkit::DEFAULT_SEED, "netback-disk-faults"),
         }
     }
 
     /// Attaches a host-side tap endpoint to the switch.
     pub fn add_tap(&mut self, tap: Tap) {
         self.taps.push(tap);
+    }
+
+    /// Installs a [`Netem`] link conditioner on the switch's forwarding
+    /// path. Without one (the default) the link is a perfect wire and the
+    /// forwarding path is unchanged.
+    pub fn set_netem(&mut self, netem: Netem) {
+        self.netem = Some(netem);
+    }
+
+    /// Replaces the PRNG that drives [`DiskFaultPlan`] draws, so storage
+    /// faults follow the caller's `MIRAGE_TEST_SEED` stream discipline.
+    pub fn set_disk_fault_rng(&mut self, rng: Rng) {
+        self.disk_rng = rng;
     }
 
     /// Shared counters handle (readable while the domain runs).
@@ -264,6 +343,7 @@ impl DriverDomain {
                 mapped: HashMap::new(),
                 out_queue: VecDeque::new(),
                 out_drops: 0,
+                rx_starved: false,
             });
             self.seen.insert(base);
             progressed = true;
@@ -374,14 +454,61 @@ impl DriverDomain {
     fn enqueue(nic: &mut NetBackendInst, frame: PktBuf, stats: &Arc<Mutex<DriverStats>>) {
         if nic.out_queue.len() >= OUT_QUEUE_CAP {
             nic.out_drops += 1;
-            stats.lock().frames_dropped += 1;
+            let mut s = stats.lock();
+            if nic.rx_starved {
+                s.frames_dropped_no_rx_buffer += 1;
+            } else {
+                s.frames_dropped_congestion += 1;
+            }
             return;
         }
         nic.out_queue.push_back(frame);
     }
 
+    /// Offer a frame to the link conditioner (if any) before switching it.
+    /// Conditioned frames may be dropped, duplicated, corrupted or held in
+    /// the delay heap until their release time.
+    fn offer(&mut self, now: Time, src_idx: usize, frame: PktBuf) {
+        let outs = match self.netem.as_mut() {
+            None => {
+                self.route(src_idx, frame);
+                return;
+            }
+            Some(nm) => nm.apply(now, frame),
+        };
+        if outs.is_empty() {
+            self.stats.lock().frames_dropped_netem += 1;
+            return;
+        }
+        for (release_at, frame) in outs {
+            if release_at <= now {
+                self.route(src_idx, frame);
+            } else {
+                self.delay_seq += 1;
+                self.delayed.push(DelayedFrame {
+                    release_at,
+                    seq: self.delay_seq,
+                    src_idx,
+                    frame,
+                });
+            }
+        }
+    }
+
     fn service_net(&mut self, env: &mut DomainEnv<'_>) -> bool {
         let mut progressed = false;
+        // Release frames whose conditioner-imposed delay has elapsed.
+        let now = env.now();
+        while self
+            .delayed
+            .peek()
+            .map(|d| d.release_at <= now)
+            .unwrap_or(false)
+        {
+            let d = self.delayed.pop().expect("peeked");
+            self.route(d.src_idx, d.frame);
+            progressed = true;
+        }
         // Ingest frames from guests.
         let mut routed: Vec<(usize, PktBuf)> = Vec::new();
         for (idx, nic) in self.nics.iter_mut().enumerate() {
@@ -410,7 +537,8 @@ impl DriverDomain {
             }
         }
         for (idx, frame) in routed {
-            self.route(idx, frame);
+            let now = env.now();
+            self.offer(now, idx, frame);
         }
         // Ingest frames from taps.
         let taps: Vec<Tap> = self.taps.clone();
@@ -419,7 +547,8 @@ impl DriverDomain {
                 let frame = tap.inner.lock().to_switch.pop_front();
                 let Some(frame) = frame else { break };
                 env.consume(self.net_profile.wire_time(frame.len()));
-                self.route(usize::MAX, frame);
+                let now = env.now();
+                self.offer(now, usize::MAX, frame);
                 progressed = true;
             }
         }
@@ -428,8 +557,10 @@ impl DriverDomain {
             let mut notify = false;
             while nic.out_queue.front().is_some() {
                 let Some(req) = nic.rx_ring.take_request() else {
+                    nic.rx_starved = true;
                     break;
                 };
+                nic.rx_starved = false;
                 let Some(gref) = parse_gref(&req) else {
                     continue;
                 };
@@ -474,13 +605,36 @@ impl DriverDomain {
                     continue;
                 }
                 let is_read = op == blkwire::OP_READ;
-                if !is_read {
+                let faults = blk.disk.profile().faults.unwrap_or_default();
+                let mut ok = true;
+                if is_read {
+                    if DiskFaultPlan::hit(&mut self.disk_rng, faults.read_error_ppm) {
+                        // Transient read failure: data stays intact, the
+                        // completion reports failure.
+                        ok = false;
+                        self.stats.lock().blk_read_errors += 1;
+                    }
+                } else {
                     // Writes capture the data now (the page may be reused).
+                    let mut data = vec![0u8; bytes];
                     if let Some(page) =
                         Self::map_cached(env, &mut blk.mapped, gref, false)
                     {
-                        let mut data = vec![0u8; bytes];
                         page.read(|b| data.copy_from_slice(&b[..bytes]));
+                    }
+                    if DiskFaultPlan::hit(&mut self.disk_rng, faults.write_error_ppm) {
+                        // Transient write failure: nothing persists.
+                        ok = false;
+                        self.stats.lock().blk_write_errors += 1;
+                    } else if DiskFaultPlan::hit(&mut self.disk_rng, faults.torn_write_ppm) {
+                        // Torn write: only a sector prefix persists — the
+                        // on-disk state a power cut mid-request would leave.
+                        ok = false;
+                        let keep =
+                            self.disk_rng.gen_range(0..count) as usize * SECTOR_SIZE;
+                        blk.disk.write(sector, &data[..keep]);
+                        self.stats.lock().blk_torn_writes += 1;
+                    } else {
                         blk.disk.write(sector, &data);
                     }
                 }
@@ -496,6 +650,7 @@ impl DriverDomain {
                     gref: GrantRef(gref),
                     id,
                     is_read,
+                    ok,
                     sector,
                     count,
                 });
@@ -511,7 +666,7 @@ impl DriverDomain {
                 .unwrap_or(false)
             {
                 let p = blk.pending.pop().expect("peeked");
-                if p.is_read {
+                if p.is_read && p.ok {
                     let data = blk.disk.read(p.sector, p.count);
                     if let Some(page) =
                         Self::map_cached(env, &mut blk.mapped, p.gref.0, true)
@@ -521,7 +676,7 @@ impl DriverDomain {
                 }
                 notify |= blk
                     .ring
-                    .push_response(&blkwire::rsp(p.id, true, p.gref.0))
+                    .push_response(&blkwire::rsp(p.id, p.ok, p.gref.0))
                     .unwrap_or(false);
                 self.stats.lock().blk_completed += 1;
                 progressed = true;
@@ -534,10 +689,16 @@ impl DriverDomain {
     }
 
     fn next_deadline(&self) -> Option<Time> {
-        self.blks
+        let blk = self
+            .blks
             .iter()
             .filter_map(|b| b.pending.peek().map(|p| p.done_at))
-            .min()
+            .min();
+        let net = self.delayed.peek().map(|d| d.release_at);
+        match (blk, net) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
     }
 }
 

@@ -453,6 +453,10 @@ enum SchedState {
     Exited(i64),
 }
 
+/// Exit code recorded for a domain destroyed by
+/// [`Hypervisor::kill_domain`] (fault injection, not a voluntary exit).
+pub const KILLED_EXIT_CODE: i64 = -9;
+
 struct Slot {
     name: String,
     mem_mib: u64,
@@ -579,6 +583,40 @@ impl Hypervisor {
         if !matches!(slot.state, SchedState::Exited(_)) {
             slot.state = SchedState::Runnable(now.max(slot.ready_at));
         }
+    }
+
+    /// Destroys a running domain in place (crash injection): the guest is
+    /// dropped wherever it was, the slot records [`KILLED_EXIT_CODE`], and
+    /// peers observe nothing but silence — exactly what a crashed
+    /// appliance looks like from across the network. No-op if the domain
+    /// already exited.
+    pub fn kill_domain(&mut self, dom: DomainId) {
+        let slot = &mut self.slots[dom.index()];
+        if matches!(slot.state, SchedState::Exited(_)) {
+            return;
+        }
+        slot.guest = None;
+        slot.state = SchedState::Exited(KILLED_EXIT_CODE);
+    }
+
+    /// Reboots a dead domain slot with a fresh guest image. The domain
+    /// keeps its id, name and memory reservation, and becomes runnable at
+    /// the current virtual time — the toolstack-level "destroy then boot a
+    /// replacement" recovery loop, without allocating a new slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the domain has not exited (kill it first).
+    pub fn restart_domain(&mut self, dom: DomainId, guest: Box<dyn Guest>) {
+        let now = self.sys.now;
+        let slot = &mut self.slots[dom.index()];
+        assert!(
+            matches!(slot.state, SchedState::Exited(_)),
+            "restart_domain: domain {} is still live",
+            slot.name
+        );
+        slot.guest = Some(guest);
+        slot.state = SchedState::Runnable(now.max(slot.ready_at));
     }
 
     /// The exit code of `dom`, if it has exited.
@@ -795,6 +833,30 @@ mod tests {
                 Step::Exit(0)
             }
         }
+    }
+
+    #[test]
+    fn kill_then_restart_reuses_the_slot() {
+        let mut hv = Hypervisor::with_pcpus(1);
+        let d = hv.create_domain(
+            "victim",
+            16,
+            Box::new(Worker { quanta: 1_000_000, cost: Dur::micros(10) }),
+        );
+        hv.run_until(Time::ZERO + Dur::millis(1));
+        assert_eq!(hv.exit_code(d), None, "still running");
+        hv.kill_domain(d);
+        assert_eq!(hv.exit_code(d), Some(KILLED_EXIT_CODE));
+        // A dead domain stays dead: the scheduler must not pick it.
+        assert_eq!(hv.run(), RunOutcome::AllExited);
+        // Reboot the slot with a fresh image; it runs to completion.
+        hv.restart_domain(d, Box::new(Worker { quanta: 2, cost: Dur::micros(10) }));
+        assert_eq!(hv.exit_code(d), None, "runnable again");
+        assert_eq!(hv.run(), RunOutcome::AllExited);
+        assert_eq!(hv.exit_code(d), Some(7));
+        assert_eq!(hv.domain_name(d), "victim", "identity preserved");
+        hv.kill_domain(d);
+        assert_eq!(hv.exit_code(d), Some(7), "killing an exited domain is a no-op");
     }
 
     #[test]

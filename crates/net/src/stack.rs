@@ -129,6 +129,10 @@ enum Cmd {
     TcpClose {
         id: u64,
     },
+    TcpStats {
+        id: u64,
+        reply: Sender<Result<tcp::TcpStats, NetError>>,
+    },
     Ping {
         dst: Ipv4Addr,
         reply: Sender<Result<Dur, NetError>>,
@@ -287,6 +291,20 @@ impl TcpStream {
     /// Initiates a graceful close (FIN after queued data).
     pub fn close(&self) {
         let _ = self.cmd.send(Cmd::TcpClose { id: self.id });
+    }
+
+    /// Point-in-time [`tcp::TcpStats`] for this connection — how many
+    /// segments/bytes moved and whether the retransmit or persist
+    /// machinery fired. Read before closing: a fully torn-down connection
+    /// is garbage-collected by the stack and reports
+    /// [`NetError::StackGone`].
+    pub async fn stats(&self) -> Result<tcp::TcpStats, NetError> {
+        let (tx, mut rx) = channel::channel();
+        let _ = self.cmd.send(Cmd::TcpStats {
+            id: self.id,
+            reply: tx,
+        });
+        rx.recv().await.map_err(|_| NetError::StackGone)?
     }
 
     /// Awaits full connection teardown (our FIN acknowledged and the state
@@ -489,6 +507,14 @@ struct Inner {
 
 const PING_TIMEOUT: Dur = Dur::secs(5);
 
+/// Wire-level TCP tracing, enabled by setting `MIRAGE_TCP_TRACE` in the
+/// environment: every segment emitted or accepted by any stack in the
+/// process is printed to stderr. The chaos suite's debugging lever.
+fn tcp_trace() -> bool {
+    static ON: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *ON.get_or_init(|| std::env::var_os("MIRAGE_TCP_TRACE").is_some())
+}
+
 impl Inner {
     fn new(
         rt: Runtime,
@@ -641,6 +667,21 @@ impl Inner {
     }
 
     fn emit_tcp(&mut self, local_port: u16, peer: (Ipv4Addr, u16), seg: &SegmentOut) {
+        if tcp_trace() {
+            eprintln!(
+                "[{}] {:?} TX :{}->{}:{} seq={} ack={} len={} wnd={} flags={:?}",
+                self.rt.now().as_nanos(),
+                self.ip(),
+                local_port,
+                peer.0,
+                peer.1,
+                seg.seq,
+                seg.ack,
+                seg.payload.len(),
+                seg.window,
+                seg.flags,
+            );
+        }
         // Fast path: destination MAC already resolved → assemble ethernet,
         // IPv4 and TCP headers plus the payload into one pool page in a
         // single pass and hand the ring that view directly.
@@ -894,6 +935,21 @@ impl Inner {
         let Some(seg) = TcpSegment::parse(src, dst, buf) else {
             return;
         };
+        if tcp_trace() {
+            eprintln!(
+                "[{}] {:?} RX {}:{}->:{} seq={} ack={} len={} wnd={} flags={:?}",
+                self.rt.now().as_nanos(),
+                dst,
+                src,
+                seg.src_port,
+                seg.dst_port,
+                seg.seq,
+                seg.ack,
+                seg.payload.len(),
+                seg.window,
+                seg.flags,
+            );
+        }
         let quad = (src, seg.src_port, seg.dst_port);
         let now = self.rt.now();
         let id = match self.quads.get(&quad) {
@@ -1116,6 +1172,13 @@ impl Inner {
                     _ => return,
                 };
                 self.apply_output(id, out);
+            }
+            Cmd::TcpStats { id, reply } => {
+                let r = match self.conns.get(&id) {
+                    Some(e) => Ok(e.conn.stats()),
+                    None => Err(NetError::StackGone),
+                };
+                let _ = reply.send(r);
             }
             Cmd::Ping { dst, reply } => {
                 let seq = self.ping_seq;

@@ -355,6 +355,15 @@ pub struct TcpStats {
     pub rto_retransmits: u64,
     /// Fast retransmissions.
     pub fast_retransmits: u64,
+    /// Zero-window persist probes sent.
+    pub persist_probes: u64,
+}
+
+impl TcpStats {
+    /// Every segment the loss-recovery machinery emitted.
+    pub fn total_retransmits(&self) -> u64 {
+        self.rto_retransmits + self.fast_retransmits
+    }
 }
 
 /// The unacknowledged-data buffer: a deque of refcounted [`PktBuf`] chunks
@@ -467,6 +476,9 @@ pub struct Connection {
     peer_mss: usize,
     peer_wscale: u8,
     ws_enabled: bool,
+    // Zero-window persist timer (RFC 9293 §3.8.6.1).
+    persist_deadline: Option<Time>,
+    persist_interval: Dur,
     // TIME-WAIT.
     time_wait_until: Option<Time>,
     stats: TcpStats,
@@ -525,6 +537,8 @@ impl Connection {
             peer_mss: 536,
             peer_wscale: 0,
             ws_enabled: false,
+            persist_deadline: None,
+            persist_interval: Dur::ZERO,
             time_wait_until: None,
             stats: TcpStats::default(),
         }
@@ -607,10 +621,10 @@ impl Connection {
     /// The earliest timer deadline, if any.
     pub fn next_deadline(&self) -> Option<Time> {
         let mut d = self.time_wait_until;
-        if let Some(r) = self.rtx_deadline {
+        for t in [self.rtx_deadline, self.persist_deadline].into_iter().flatten() {
             d = Some(match d {
-                Some(t) => t.min(r),
-                None => r,
+                Some(cur) => cur.min(t),
+                None => t,
             });
         }
         d
@@ -671,7 +685,7 @@ impl Connection {
             return out;
         }
         let mss = self.effective_mss();
-        let wnd = self.cwnd.min(self.snd_wnd.max(mss)); // never shrink below 1 MSS (persist timer stand-in)
+        let wnd = self.cwnd.min(self.snd_wnd);
         loop {
             let in_flight = self.snd_nxt.wrapping_sub(self.snd_una) as usize;
             let sent_bytes = self
@@ -733,6 +747,15 @@ impl Connection {
         if !out.is_empty() && self.rtx_deadline.is_none() {
             self.arm_rtx(now);
         }
+        // Zero window with data waiting: arm the persist timer so a lost
+        // window update cannot deadlock the connection.
+        if self.snd_wnd == 0 && self.persist_deadline.is_none() {
+            let sent_bytes = self.snd_nxt.wrapping_sub(self.data_base()) as usize;
+            if self.snd_buf.len() > sent_bytes {
+                self.persist_interval = self.rto.max(self.cfg.rto_min);
+                self.persist_deadline = Some(now + self.persist_interval);
+            }
+        }
         out
     }
 
@@ -756,6 +779,44 @@ impl Connection {
                 self.state = State::Closed;
                 out.events.push(Event::Closed);
                 return out;
+            }
+        }
+        // Persist timer: probe a closed window with one byte beyond it,
+        // backing off exponentially up to the RTO cap.
+        if let Some(pd) = self.persist_deadline {
+            if pd <= now {
+                if self.snd_wnd > 0 {
+                    // Window reopened since arming; nothing to probe.
+                    self.persist_deadline = None;
+                } else {
+                    let sent_bytes = self.snd_nxt.wrapping_sub(self.data_base()) as usize;
+                    if sent_bytes < self.snd_buf.len() {
+                        let payload = self.snd_buf.range(sent_bytes, 1);
+                        self.stats.segs_out += 1;
+                        self.stats.persist_probes += 1;
+                        out.segments.push(SegmentOut {
+                            seq: self.snd_nxt,
+                            ack: self.rcv_nxt,
+                            flags: Flags {
+                                ack: true,
+                                psh: true,
+                                ..Flags::default()
+                            },
+                            window: self.my_window_field(),
+                            mss: None,
+                            wscale: None,
+                            payload,
+                        });
+                        self.snd_nxt = self.snd_nxt.wrapping_add(1);
+                        self.persist_interval = Dur::nanos(
+                            (self.persist_interval.as_nanos() * 2)
+                                .min(self.cfg.rto_max.as_nanos()),
+                        );
+                        self.persist_deadline = Some(now + self.persist_interval);
+                    } else {
+                        self.persist_deadline = None;
+                    }
+                }
             }
         }
         let Some(deadline) = self.rtx_deadline else {
@@ -944,6 +1005,14 @@ impl Connection {
         }
         self.snd_wnd = self.scaled_window(seg);
 
+        // A reopened window cancels the persist timer and releases any
+        // data it was holding back — even on a pure window update that
+        // advances nothing.
+        if self.snd_wnd > 0 && self.persist_deadline.is_some() {
+            self.persist_deadline = None;
+            out.segments.extend(self.transmit(now));
+        }
+
         if seq::gt(ack, self.snd_una) {
             let mut advanced = ack.wrapping_sub(self.snd_una) as usize;
             // SYN consumes one sequence number.
@@ -1022,6 +1091,8 @@ impl Connection {
             && seg.payload.is_empty()
             && !seg.flags.fin
             && seq::lt(self.snd_una, self.snd_nxt)
+            // ACKs elicited by persist probes are not loss signals.
+            && self.persist_deadline.is_none()
         {
             // Duplicate ACK.
             self.dup_acks += 1;
@@ -1233,6 +1304,106 @@ mod tests {
         assert_eq!(client.state(), State::Established);
         assert_eq!(server.state(), State::Established);
         (client, server, c_out, s_out, now)
+    }
+
+    /// Delivers a hand-crafted segment from B to the client over real
+    /// serialisation.
+    fn deliver_from_b(client: &mut Connection, seg: &SegmentOut, now: Time) -> Output {
+        let wire = PktBuf::from_vec(build_segment(B, 2000, A, 1000, seg));
+        let parsed = TcpSegment::parse(B, A, &wire).expect("valid segment");
+        client.on_segment(&parsed, now)
+    }
+
+    #[test]
+    fn zero_window_persist_probes_with_backoff_until_reopen() {
+        let (mut client, _server, _c_out, _s_out, mut now) = handshake();
+        // Peer advertises a zero window (pure window update: no data, no
+        // sequence advance).
+        let out = deliver_from_b(
+            &mut client,
+            &SegmentOut {
+                seq: 9001,
+                ack: 101,
+                flags: Flags::ACK,
+                window: 0,
+                mss: None,
+                wscale: None,
+                payload: PktBuf::empty(),
+            },
+            now,
+        );
+        assert!(out.segments.is_empty());
+
+        // Data queues but cannot be sent; the persist timer arms instead.
+        let queued = 5000usize;
+        let out = client.app_send(vec![0xAB; queued], now);
+        assert!(out.segments.is_empty(), "zero window must block transmission");
+        let mut deadline = client.next_deadline().expect("persist timer armed");
+        let mut last_interval = deadline.since(now);
+
+        // Probes carry exactly one byte each and back off exponentially,
+        // capped at rto_max.
+        let probes = 8u64;
+        for i in 0..probes {
+            now = deadline;
+            let out = client.poll(now);
+            assert_eq!(out.segments.len(), 1, "probe {i}");
+            assert_eq!(out.segments[0].payload.len(), 1, "one byte per probe");
+            assert_eq!(client.stats().persist_probes, i + 1);
+            deadline = client.next_deadline().expect("persist re-armed");
+            let interval = deadline.since(now);
+            assert!(interval >= last_interval, "backoff never shrinks");
+            assert!(interval <= TcpConfig::default().rto_max, "backoff capped");
+            if i > 0 && last_interval < TcpConfig::default().rto_max {
+                assert!(interval > last_interval, "backoff grows until the cap");
+            }
+            last_interval = interval;
+            // The peer acks each probe at snd_una with the window still
+            // closed; that must not look like dup-ack loss signals.
+            let out = deliver_from_b(
+                &mut client,
+                &SegmentOut {
+                    seq: 9001,
+                    ack: 101,
+                    flags: Flags::ACK,
+                    window: 0,
+                    mss: None,
+                    wscale: None,
+                    payload: PktBuf::empty(),
+                },
+                now,
+            );
+            assert!(out.segments.is_empty());
+        }
+        assert_eq!(client.stats().fast_retransmits, 0, "probe acks are not loss");
+
+        // The receiver frees its buffer: window reopens, covering the
+        // probe bytes it absorbed. The persist timer cancels and the
+        // blocked data flows immediately.
+        let out = deliver_from_b(
+            &mut client,
+            &SegmentOut {
+                seq: 9001,
+                ack: 101 + probes as u32,
+                flags: Flags::ACK,
+                window: u16::MAX,
+                mss: None,
+                wscale: None,
+                payload: PktBuf::empty(),
+            },
+            now,
+        );
+        let sent: usize = out.segments.iter().map(|s| s.payload.len()).sum();
+        assert!(sent > 0, "reopen releases blocked data");
+        let in_flight_cap = client.cwnd();
+        assert!(sent <= in_flight_cap, "still congestion-controlled");
+        let expected = (queued - probes as usize).min(in_flight_cap);
+        assert_eq!(sent, expected, "everything the windows allow goes out");
+        assert_eq!(
+            client.stats().persist_probes,
+            probes,
+            "no further probes after reopen"
+        );
     }
 
     fn collect_data(events: &[Event]) -> Vec<u8> {

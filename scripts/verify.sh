@@ -7,6 +7,11 @@
 #                                    # double-test-run determinism check
 #   scripts/verify.sh --bench        # additionally run scripts/bench.sh
 #                                    # and gate on the zero-copy budget
+#   scripts/verify.sh --chaos        # additionally run the chaos suite
+#                                    # under ten fixed seeds, plus a
+#                                    # same-seed double run diffed
+#
+# Flags combine: `verify.sh --chaos --determinism` runs both extras.
 #
 # The workspace is fully self-contained (every dependency is a path
 # dependency), so everything here runs with --offline: if a registry
@@ -45,7 +50,16 @@ for ex in quickstart boot_storm dns_appliance web_appliance openflow_appliance; 
     cargo run --release --offline --example "$ex" > /dev/null
 done
 
-if [[ "${1:-}" == "--bench" ]]; then
+want() {
+    local flag="$1"
+    shift
+    for arg in "$@"; do
+        [[ "$arg" == "$flag" ]] && return 0
+    done
+    return 1
+}
+
+if want --bench "$@"; then
     echo "== bench: network-path figures + zero-copy gate"
     scripts/bench.sh
     # The ablation bench already asserts the budget internally; re-check
@@ -61,10 +75,25 @@ if [[ "${1:-}" == "--bench" ]]; then
     echo "   ok (zero-copy budget held)"
 fi
 
-if [[ "${1:-}" == "--determinism" ]]; then
+norm() { sed 's/finished in [0-9.]*s//'; }
+
+if want --chaos "$@"; then
+    echo "== chaos: fault-injection suite under ten fixed seeds"
+    for seed in 1 2 3 5 8 13 42 97 1337 4242; do
+        echo "   -- seed $seed"
+        MIRAGE_TEST_SEED="$seed" cargo test -q --offline --test chaos > /dev/null
+    done
+    echo "== chaos: two same-seed runs must print identical output"
+    seed="${MIRAGE_TEST_SEED:-42}"
+    MIRAGE_TEST_SEED="$seed" cargo test -q --offline --test chaos 2>&1 | norm > /tmp/mirage-chaos-run1
+    MIRAGE_TEST_SEED="$seed" cargo test -q --offline --test chaos 2>&1 | norm > /tmp/mirage-chaos-run2
+    diff /tmp/mirage-chaos-run1 /tmp/mirage-chaos-run2
+    echo "   ok (seed $seed)"
+fi
+
+if want --determinism "$@"; then
     echo "== determinism: two test runs under one seed must be identical"
     seed="${MIRAGE_TEST_SEED:-42}"
-    norm() { sed 's/finished in [0-9.]*s//'; }
     MIRAGE_TEST_SEED="$seed" cargo test -q --offline --workspace 2>&1 | norm > /tmp/mirage-verify-run1
     MIRAGE_TEST_SEED="$seed" cargo test -q --offline --workspace 2>&1 | norm > /tmp/mirage-verify-run2
     diff /tmp/mirage-verify-run1 /tmp/mirage-verify-run2
