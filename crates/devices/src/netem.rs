@@ -389,6 +389,73 @@ mod tests {
     }
 
     #[test]
+    fn per_fault_counters_count_individually() {
+        // Each fault class alone, at certainty or in a known window, must
+        // tick exactly its own counter — no cross-talk between classes.
+        let mut corrupt = Netem::from_seed(
+            NetemConfig {
+                corrupt: 1.0,
+                ..NetemConfig::default()
+            },
+            21,
+            "cnt-corrupt",
+        );
+        for i in 0..50 {
+            assert_eq!(corrupt.apply(Time::from_nanos(i), frame(64)).len(), 1);
+        }
+        let s = corrupt.stats_handle();
+        let s = s.lock();
+        assert_eq!(s.corrupted, 50);
+        assert_eq!(
+            (s.dropped, s.duplicated, s.partitioned, s.reordered),
+            (0, 0, 0, 0)
+        );
+        assert_eq!(s.schedule.len(), 50, "one schedule line per decision");
+        drop(s);
+
+        let mut dup = Netem::from_seed(
+            NetemConfig {
+                duplicate: 1.0,
+                ..NetemConfig::default()
+            },
+            21,
+            "cnt-dup",
+        );
+        for i in 0..50 {
+            assert_eq!(dup.apply(Time::from_nanos(i), frame(64)).len(), 2);
+        }
+        let s = dup.stats_handle();
+        let s = s.lock();
+        assert_eq!(s.duplicated, 50);
+        assert_eq!(
+            (s.dropped, s.corrupted, s.partitioned, s.reordered),
+            (0, 0, 0, 0)
+        );
+        drop(s);
+
+        let mut part = Netem::from_seed(
+            NetemConfig {
+                partitions: vec![(Time::from_nanos(10), Time::from_nanos(30))],
+                ..NetemConfig::default()
+            },
+            21,
+            "cnt-part",
+        );
+        for i in 0..50 {
+            part.apply(Time::from_nanos(i), frame(64));
+        }
+        let s = part.stats_handle();
+        let s = s.lock();
+        assert_eq!(s.partitioned, 20, "exactly the frames inside the window");
+        assert_eq!(
+            (s.dropped, s.corrupted, s.duplicated, s.reordered),
+            (0, 0, 0, 0)
+        );
+        assert_eq!(s.offered, 50);
+        assert_eq!(s.total_lost(), 20);
+    }
+
+    #[test]
     fn disk_fault_plan_rates_are_honoured() {
         let mut rng = Rng::for_stream(11, "disk");
         let plan = DiskFaultPlan {

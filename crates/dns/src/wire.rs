@@ -267,6 +267,13 @@ impl Message {
         let counts: Vec<usize> = (0..4)
             .map(|i| u16::from_be_bytes([data[4 + 2 * i], data[5 + 2 * i]]) as usize)
             .collect();
+        // Count sanity: a question needs at least 5 wire bytes and a record
+        // at least 11, so counts claiming more than the datagram could hold
+        // are length-field lies — rejected before allocating or looping.
+        let min_len = 12 + counts[0] * 5 + (counts[1] + counts[2] + counts[3]) * 11;
+        if min_len > data.len() {
+            return Err(NameError::BadWire);
+        }
         let mut pos = 12;
         let mut questions = Vec::with_capacity(counts[0]);
         for _ in 0..counts[0] {

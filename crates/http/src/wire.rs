@@ -197,7 +197,7 @@ impl Response {
 pub enum HttpError {
     /// The request line or a header was malformed.
     Malformed,
-    /// Headers exceed the sanity bound.
+    /// Headers or the claimed body length exceed the sanity bounds.
     TooLarge,
 }
 
@@ -205,7 +205,7 @@ impl std::fmt::Display for HttpError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let msg = match self {
             HttpError::Malformed => "malformed http message",
-            HttpError::TooLarge => "header block too large",
+            HttpError::TooLarge => "message exceeds sanity bounds",
         };
         f.write_str(msg)
     }
@@ -215,6 +215,23 @@ impl std::error::Error for HttpError {}
 
 /// Header-block sanity bound.
 const MAX_HEADER_BYTES: usize = 16 * 1024;
+
+/// Body-length sanity bound. A Content-Length above this is a length-field
+/// lie, not a message the parser should sit buffering toward forever.
+const MAX_BODY_BYTES: usize = 4 * 1024 * 1024;
+
+/// Validates a claimed Content-Length before any buffering decision rides
+/// on it: unparseable values are malformed, absurd ones are rejected.
+fn content_length(headers: &[(String, String)]) -> Result<usize, HttpError> {
+    let Some((_, v)) = headers.iter().find(|(n, _)| n == "content-length") else {
+        return Ok(0);
+    };
+    let n: usize = v.parse().map_err(|_| HttpError::Malformed)?;
+    if n > MAX_BODY_BYTES {
+        return Err(HttpError::TooLarge);
+    }
+    Ok(n)
+}
 
 /// Received bytes held as a queue of [`PktBuf`] views. Feeding never copies
 /// payload; the views stay shared with the stack's receive buffers until a
@@ -346,11 +363,7 @@ impl RequestParser {
             let (name, value) = line.split_once(':').ok_or(HttpError::Malformed)?;
             headers.push((name.trim().to_ascii_lowercase(), value.trim().to_owned()));
         }
-        let content_length: usize = headers
-            .iter()
-            .find(|(n, _)| n == "content-length")
-            .and_then(|(_, v)| v.parse().ok())
-            .unwrap_or(0);
+        let content_length = content_length(&headers)?;
         let body_start = header_end + 4;
         if self.buf.len() < body_start + content_length {
             return Ok(None); // body still arriving
@@ -426,11 +439,7 @@ impl ResponseParser {
             let (name, value) = line.split_once(':').ok_or(HttpError::Malformed)?;
             headers.push((name.trim().to_ascii_lowercase(), value.trim().to_owned()));
         }
-        let content_length: usize = headers
-            .iter()
-            .find(|(n, _)| n == "content-length")
-            .and_then(|(_, v)| v.parse().ok())
-            .unwrap_or(0);
+        let content_length = content_length(&headers)?;
         let body_start = header_end + 4;
         if self.buf.len() < body_start + content_length {
             return Ok(None);

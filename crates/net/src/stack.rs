@@ -41,6 +41,10 @@ pub struct StackConfig {
     pub gateway: Option<Ipv4Addr>,
     /// TCP tuning.
     pub tcp: TcpConfig,
+    /// Cap on half-open (SYN-received) connections spawned by listeners.
+    /// Beyond this the stack answers SYNs statelessly with SYN cookies, so
+    /// a flood cannot exhaust the connection table.
+    pub listen_backlog: usize,
 }
 
 impl StackConfig {
@@ -51,6 +55,7 @@ impl StackConfig {
             netmask: Ipv4Addr::new(255, 255, 255, 0),
             gateway: None,
             tcp: TcpConfig::default(),
+            listen_backlog: 64,
         }
     }
 
@@ -61,8 +66,28 @@ impl StackConfig {
             netmask: Ipv4Addr::new(255, 255, 255, 0),
             gateway: None,
             tcp: TcpConfig::default(),
+            listen_backlog: 64,
         }
     }
+}
+
+/// Stack-wide accept-path counters: connection-table occupancy (current and
+/// high-water) plus SYN-cookie fallback activity. The adversarial suite
+/// asserts flood behaviour through these.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StackStats {
+    /// Current connection-table entries.
+    pub conns: u64,
+    /// Current half-open (SYN-received, listener-spawned) entries.
+    pub half_open: u64,
+    /// High-water mark of `conns`.
+    pub max_conns: u64,
+    /// High-water mark of `half_open`.
+    pub max_half_open: u64,
+    /// SYNs answered statelessly because the backlog was full.
+    pub syn_cookies_sent: u64,
+    /// Connections established from a validated returning cookie ACK.
+    pub syn_cookies_accepted: u64,
 }
 
 /// Errors surfaced to socket users.
@@ -132,6 +157,9 @@ enum Cmd {
     TcpStats {
         id: u64,
         reply: Sender<Result<tcp::TcpStats, NetError>>,
+    },
+    StackStats {
+        reply: Sender<StackStats>,
     },
     Ping {
         dst: Ipv4Addr,
@@ -454,6 +482,19 @@ impl Stack {
         rx.recv().await.map_err(|_| NetError::StackGone)?
     }
 
+    /// Accept-path and connection-table counters.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::StackGone`].
+    pub async fn stack_stats(&self) -> Result<StackStats, NetError> {
+        let (tx, mut rx) = channel::channel();
+        self.cmd
+            .send(Cmd::StackStats { reply: tx })
+            .map_err(|_| NetError::StackGone)?;
+        rx.recv().await.map_err(|_| NetError::StackGone)
+    }
+
     /// ICMP echo round-trip to `dst`.
     ///
     /// # Errors
@@ -503,6 +544,28 @@ struct Inner {
     pool: PagePool,
     /// Connections with writes buffered since the last `flush_tx`.
     dirty: HashSet<u64>,
+    stats: StackStats,
+    /// Keyed into the SYN-cookie MAC. Fixed for determinism of the
+    /// simulation; a real deployment would draw it per boot.
+    cookie_secret: u64,
+}
+
+/// MSS classes a SYN cookie can encode in its two low bits — everything
+/// else the original SYN carried (window scale included) is forgotten, the
+/// classic stateless-handshake trade-off.
+const COOKIE_MSS_TABLE: [u16; 4] = [536, 1460, 4096, 8960];
+
+/// The SYN-cookie MAC over the connection quad: a splitmix64 finalizer,
+/// cheap and deterministic. The two low bits are reserved for the MSS
+/// class, so validation compares the upper 30.
+fn cookie_hash(secret: u64, src: Ipv4Addr, src_port: u16, dst_port: u16) -> u32 {
+    let quad = (u64::from(u32::from_be_bytes(src.octets())) << 32)
+        | (u64::from(src_port) << 16)
+        | u64::from(dst_port);
+    let mut x = (secret ^ quad).wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    (x ^ (x >> 31)) as u32
 }
 
 const PING_TIMEOUT: Dur = Dur::secs(5);
@@ -548,7 +611,24 @@ impl Inner {
             cmd_tx_for_streams: None,
             pool: PagePool::new(256),
             dirty: HashSet::new(),
+            stats: StackStats::default(),
+            cookie_secret: 0x6D69_7261_6765_2D63,
         }
+    }
+
+    /// Refreshes the occupancy gauges and their high-water marks.
+    fn note_occupancy(&mut self) {
+        self.stats.conns = self.conns.len() as u64;
+        self.stats.half_open = self.half_open_count() as u64;
+        self.stats.max_conns = self.stats.max_conns.max(self.stats.conns);
+        self.stats.max_half_open = self.stats.max_half_open.max(self.stats.half_open);
+    }
+
+    fn half_open_count(&self) -> usize {
+        self.conns
+            .values()
+            .filter(|e| e.from_listener.is_some() && e.conn.state() == tcp::State::SynRcvd)
+            .count()
     }
 
     fn ip(&self) -> Ipv4Addr {
@@ -955,12 +1035,35 @@ impl Inner {
         let id = match self.quads.get(&quad) {
             Some(id) => *id,
             None => {
-                // New connection: must be a SYN to a listener.
+                // New connection: must be a SYN to a listener, or an ACK
+                // returning a SYN cookie we handed out statelessly.
                 if !seg.flags.syn || seg.flags.ack {
-                    if !seg.flags.rst {
-                        // RST the stray segment.
+                    if let Some(id) = self.try_accept_cookie(src, &seg) {
+                        id
+                    } else {
+                        if !seg.flags.rst {
+                            // RST the stray segment.
+                            let rst = SegmentOut {
+                                seq: seg.ack,
+                                ack: seg.seq.wrapping_add(1),
+                                flags: tcp::Flags {
+                                    rst: true,
+                                    ack: true,
+                                    ..tcp::Flags::default()
+                                },
+                                window: 0,
+                                mss: None,
+                                wscale: None,
+                                payload: PktBuf::empty(),
+                            };
+                            self.emit_tcp(seg.dst_port, (src, seg.src_port), &rst);
+                        }
+                        return;
+                    }
+                } else {
+                    if !self.listeners.contains_key(&seg.dst_port) {
                         let rst = SegmentOut {
-                            seq: seg.ack,
+                            seq: 0,
                             ack: seg.seq.wrapping_add(1),
                             flags: tcp::Flags {
                                 rst: true,
@@ -973,46 +1076,58 @@ impl Inner {
                             payload: PktBuf::empty(),
                         };
                         self.emit_tcp(seg.dst_port, (src, seg.src_port), &rst);
+                        return;
                     }
-                    return;
-                }
-                if !self.listeners.contains_key(&seg.dst_port) {
-                    let rst = SegmentOut {
-                        seq: 0,
-                        ack: seg.seq.wrapping_add(1),
-                        flags: tcp::Flags {
-                            rst: true,
-                            ack: true,
-                            ..tcp::Flags::default()
+                    if self.half_open_count() >= self.cfg.listen_backlog {
+                        // Backlog full: answer statelessly. The ISN is a MAC
+                        // over the quad; state is created only if a matching
+                        // ACK ever returns.
+                        self.stats.syn_cookies_sent += 1;
+                        let peer_mss = seg.mss.map_or(536, usize::from).min(self.cfg.tcp.mss);
+                        let idx = COOKIE_MSS_TABLE
+                            .iter()
+                            .rposition(|&m| usize::from(m) <= peer_mss)
+                            .unwrap_or(0);
+                        let isn = (cookie_hash(self.cookie_secret, src, seg.src_port, seg.dst_port)
+                            & !0x3)
+                            | idx as u32;
+                        let synack = SegmentOut {
+                            seq: isn,
+                            ack: seg.seq.wrapping_add(1),
+                            flags: tcp::Flags {
+                                syn: true,
+                                ack: true,
+                                ..tcp::Flags::default()
+                            },
+                            window: self.cfg.tcp.recv_buf.min(u16::MAX as usize) as u16,
+                            mss: Some(COOKIE_MSS_TABLE[idx]),
+                            wscale: None,
+                            payload: PktBuf::empty(),
+                        };
+                        self.emit_tcp(seg.dst_port, (src, seg.src_port), &synack);
+                        return;
+                    }
+                    let id = self.next_conn;
+                    self.next_conn += 1;
+                    self.iss = self.iss.wrapping_add(64_000);
+                    let conn = Connection::listen(self.cfg.tcp.clone(), self.iss);
+                    let (etx, erx) = channel::channel();
+                    self.conns.insert(
+                        id,
+                        ConnEntry {
+                            conn,
+                            peer: (src, seg.src_port),
+                            local_port: seg.dst_port,
+                            events_tx: etx,
+                            events_rx: Some(erx),
+                            connect_reply: None,
+                            from_listener: Some(seg.dst_port),
+                            dead: false,
                         },
-                        window: 0,
-                        mss: None,
-                        wscale: None,
-                        payload: PktBuf::empty(),
-                    };
-                    self.emit_tcp(seg.dst_port, (src, seg.src_port), &rst);
-                    return;
+                    );
+                    self.quads.insert(quad, id);
+                    id
                 }
-                let id = self.next_conn;
-                self.next_conn += 1;
-                self.iss = self.iss.wrapping_add(64_000);
-                let conn = Connection::listen(self.cfg.tcp.clone(), self.iss);
-                let (etx, erx) = channel::channel();
-                self.conns.insert(
-                    id,
-                    ConnEntry {
-                        conn,
-                        peer: (src, seg.src_port),
-                        local_port: seg.dst_port,
-                        events_tx: etx,
-                        events_rx: Some(erx),
-                        connect_reply: None,
-                        from_listener: Some(seg.dst_port),
-                        dead: false,
-                    },
-                );
-                self.quads.insert(quad, id);
-                id
             }
         };
         let output = {
@@ -1020,6 +1135,53 @@ impl Inner {
             entry.conn.on_segment(&seg, now)
         };
         self.apply_output(id, output);
+    }
+
+    /// Checks whether a stray segment is the ACK completing a stateless
+    /// SYN-cookie handshake; if so, rebuilds the connection it stands for
+    /// and surfaces the accept. Returns the new connection id.
+    fn try_accept_cookie(&mut self, src: Ipv4Addr, seg: &TcpSegment) -> Option<u64> {
+        if !seg.flags.ack || seg.flags.syn || seg.flags.rst {
+            return None;
+        }
+        if !self.listeners.contains_key(&seg.dst_port) {
+            return None;
+        }
+        let isn = seg.ack.wrapping_sub(1);
+        let expect = cookie_hash(self.cookie_secret, src, seg.src_port, seg.dst_port);
+        if (isn & !0x3) != (expect & !0x3) {
+            return None;
+        }
+        let mss = usize::from(COOKIE_MSS_TABLE[(isn & 0x3) as usize]);
+        let conn =
+            Connection::from_syn_cookie(self.cfg.tcp.clone(), isn, seg.seq, mss, seg.window);
+        let id = self.next_conn;
+        self.next_conn += 1;
+        let (etx, erx) = channel::channel();
+        self.conns.insert(
+            id,
+            ConnEntry {
+                conn,
+                peer: (src, seg.src_port),
+                local_port: seg.dst_port,
+                events_tx: etx,
+                events_rx: Some(erx),
+                connect_reply: None,
+                from_listener: Some(seg.dst_port),
+                dead: false,
+            },
+        );
+        self.quads.insert((src, seg.src_port, seg.dst_port), id);
+        self.stats.syn_cookies_accepted += 1;
+        // Surface the accept before any payload the ACK may carry.
+        self.apply_output(
+            id,
+            tcp::Output {
+                segments: Vec::new(),
+                events: vec![Event::Connected],
+            },
+        );
+        Some(id)
     }
 
     fn apply_output(&mut self, id: u64, output: tcp::Output) {
@@ -1094,6 +1256,7 @@ impl Inner {
                 self.quads.remove(&(e.peer.0, e.peer.1, e.local_port));
             }
         }
+        self.note_occupancy();
     }
 
     // --- commands ----------------------------------------------------------
@@ -1179,6 +1342,10 @@ impl Inner {
                     None => Err(NetError::StackGone),
                 };
                 let _ = reply.send(r);
+            }
+            Cmd::StackStats { reply } => {
+                self.note_occupancy();
+                let _ = reply.send(self.stats);
             }
             Cmd::Ping { dst, reply } => {
                 let seq = self.ping_seq;

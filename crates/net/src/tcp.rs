@@ -323,6 +323,11 @@ pub struct TcpConfig {
     pub time_wait: Dur,
     /// SYN retry budget before giving up.
     pub syn_retries: u32,
+    /// Cap on stashed out-of-order segments per connection. One hostile
+    /// flow spraying in-window segments must not exhaust appliance memory.
+    pub ooo_max_segments: usize,
+    /// Cap on stashed out-of-order bytes per connection.
+    pub ooo_max_bytes: usize,
 }
 
 impl Default for TcpConfig {
@@ -336,6 +341,8 @@ impl Default for TcpConfig {
             rto_max: Dur::secs(60),
             time_wait: Dur::secs(2),
             syn_retries: 6,
+            ooo_max_segments: 256,
+            ooo_max_bytes: 256 * 1024,
         }
     }
 }
@@ -357,6 +364,15 @@ pub struct TcpStats {
     pub fast_retransmits: u64,
     /// Zero-window persist probes sent.
     pub persist_probes: u64,
+    /// Out-of-order stashes evicted because the reassembly buffer hit its
+    /// segment or byte cap.
+    pub ooo_evictions: u64,
+    /// Overlapping segments whose bytes conflicted with already-received
+    /// data (the first-received byte wins; the conflicting copy is dropped).
+    pub overlap_conflicts: u64,
+    /// Hostile segments dropped outright: RSTs with an unacceptable
+    /// sequence number, and data claiming to be from beyond the window.
+    pub injections_dropped: u64,
 }
 
 impl TcpStats {
@@ -503,6 +519,27 @@ impl Connection {
                 events: Vec::new(),
             },
         )
+    }
+
+    /// A connection reconstructed from a validated SYN-cookie ACK: the
+    /// stateless handshake already completed on the wire, so the machine
+    /// starts directly in [`State::Established`]. Options carried by the
+    /// original SYN are lost (the classic SYN-cookie trade-off): the MSS is
+    /// whatever the cookie encoded and window scaling is disabled.
+    pub fn from_syn_cookie(
+        cfg: TcpConfig,
+        iss: u32,
+        rcv_nxt: u32,
+        peer_mss: usize,
+        peer_window: u16,
+    ) -> Connection {
+        let mut c = Connection::new(cfg, iss, State::Established);
+        c.snd_una = iss.wrapping_add(1);
+        c.syn_unacked = false;
+        c.rcv_nxt = rcv_nxt;
+        c.peer_mss = peer_mss;
+        c.snd_wnd = peer_window as usize;
+        c
     }
 
     fn new(cfg: TcpConfig, iss: u32, state: State) -> Connection {
@@ -910,10 +947,35 @@ impl Connection {
         self.stats.segs_in += 1;
 
         if seg.flags.rst {
-            if !matches!(self.state, State::Closed | State::Listen) {
-                self.state = State::Closed;
-                self.rtx_deadline = None;
-                out.events.push(Event::Reset);
+            // RFC 5961-style validation: a blind attacker must land exactly
+            // on rcv_nxt to tear the connection down. An in-window-but-off
+            // RST draws a challenge ACK; anything else is dropped. Both are
+            // counted as injection attempts.
+            match self.state {
+                State::Closed | State::Listen => {}
+                State::SynSent => {
+                    if seg.flags.ack && seg.ack == self.iss.wrapping_add(1) {
+                        self.state = State::Closed;
+                        self.rtx_deadline = None;
+                        out.events.push(Event::Reset);
+                    } else {
+                        self.stats.injections_dropped += 1;
+                    }
+                }
+                _ => {
+                    if seg.seq == self.rcv_nxt {
+                        self.state = State::Closed;
+                        self.rtx_deadline = None;
+                        out.events.push(Event::Reset);
+                    } else {
+                        self.stats.injections_dropped += 1;
+                        let in_window = seg.seq.wrapping_sub(self.rcv_nxt) as usize
+                            <= self.cfg.recv_buf;
+                        if in_window {
+                            out.segments.push(self.make_ack());
+                        }
+                    }
+                }
             }
             return out;
         }
@@ -1173,21 +1235,78 @@ impl Connection {
             }
             out.segments.push(self.make_ack());
         } else if seq::gt(seq_no, self.rcv_nxt) {
-            // Out of order: stash a view and send a duplicate ACK. When two
-            // segments start at the same sequence number keep the longer
-            // one, so an overlapping retransmission never shrinks coverage.
+            // Out of order: stash a view and send a duplicate ACK. Data
+            // claiming to be from beyond our advertised window cannot come
+            // from a well-behaved peer — count it as an injection attempt.
             let in_window = seq_no.wrapping_sub(self.rcv_nxt) as usize <= self.cfg.recv_buf;
-            if in_window && !payload.is_empty() {
-                let stash = self.ooo.entry(seq_no).or_insert_with(PktBuf::empty);
-                if payload.len() > stash.len() {
-                    *stash = payload.clone();
+            if in_window {
+                if !payload.is_empty() {
+                    self.stash_ooo(seq_no, payload);
                 }
+            } else {
+                self.stats.injections_dropped += 1;
             }
             out.segments.push(self.make_ack());
         } else if seg.flags.fin {
             out.segments.push(self.make_ack());
         }
         out
+    }
+
+    /// Stashes an out-of-order payload with first-received-wins semantics:
+    /// bytes already held for a sequence range are never replaced, so an
+    /// attacker racing a retransmission with a conflicting copy cannot
+    /// rewrite data that already arrived. Conflicting overlaps are counted,
+    /// and the stash is bounded by the configured segment and byte caps
+    /// (furthest-from-delivery stashes are evicted first — they are the
+    /// cheapest to retransmit and the likeliest to be hostile filler).
+    fn stash_ooo(&mut self, seq_no: u32, payload: PktBuf) {
+        let mut seq_no = seq_no;
+        let mut payload = payload;
+        loop {
+            // Skip bytes already held by the nearest stash starting at or
+            // before us: first-received wins, a conflicting copy is counted.
+            if let Some((&s, data)) = self.ooo.range(..=seq_no).next_back() {
+                let end = s.wrapping_add(data.len() as u32);
+                if seq::gt(end, seq_no) {
+                    let off = seq_no.wrapping_sub(s) as usize;
+                    let overlap = (end.wrapping_sub(seq_no) as usize).min(payload.len());
+                    if data.as_slice()[off..off + overlap] != payload.as_slice()[..overlap] {
+                        self.stats.overlap_conflicts += 1;
+                    }
+                    if overlap == payload.len() {
+                        return; // fully covered by first-received bytes
+                    }
+                    payload = payload.slice(overlap..);
+                    seq_no = end;
+                    continue;
+                }
+            }
+            // Insert up to the next stash the payload runs into, then carry
+            // on with the remainder (which head-clips against that stash).
+            let new_end = seq_no.wrapping_add(payload.len() as u32);
+            match self.ooo.range(seq_no..).next() {
+                Some((&s, _)) if seq::lt(s, new_end) => {
+                    let cut = s.wrapping_sub(seq_no) as usize;
+                    self.ooo.insert(seq_no, payload.slice(..cut));
+                    payload = payload.slice(cut..);
+                    seq_no = s;
+                }
+                _ => {
+                    self.ooo.insert(seq_no, payload);
+                    break;
+                }
+            }
+        }
+        let max_segs = self.cfg.ooo_max_segments.max(1);
+        loop {
+            let bytes: usize = self.ooo.values().map(PktBuf::len).sum();
+            if self.ooo.len() <= max_segs && bytes <= self.cfg.ooo_max_bytes {
+                break;
+            }
+            self.ooo.pop_last();
+            self.stats.ooo_evictions += 1;
+        }
     }
 
     fn enter_time_wait(&mut self, now: Time) {
@@ -1521,7 +1640,7 @@ mod tests {
     #[test]
     fn rst_tears_down_immediately() {
         let (mut client, _server, ..) = handshake();
-        let rst = TcpSegment {
+        let mut rst = TcpSegment {
             src_port: 2000,
             dst_port: 1000,
             seq: 0,
@@ -1535,6 +1654,13 @@ mod tests {
             wscale: None,
             payload: PktBuf::empty(),
         };
+        // A blind RST with an out-of-window sequence number is dropped.
+        let out = client.on_segment(&rst, Time::ZERO + Dur::secs(1));
+        assert!(out.events.is_empty());
+        assert_eq!(client.state(), State::Established);
+        assert_eq!(client.stats().injections_dropped, 1);
+        // Landing exactly on rcv_nxt tears the connection down.
+        rst.seq = 9001;
         let out = client.on_segment(&rst, Time::ZERO + Dur::secs(1));
         assert!(out.events.contains(&Event::Reset));
         assert_eq!(client.state(), State::Closed);

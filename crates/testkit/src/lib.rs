@@ -17,6 +17,9 @@
 //!   `lock()`-returns-guard API (replaces `parking_lot` / `crossbeam`).
 //! * [`hash`] — deterministically seeded hash maps for simulation state
 //!   whose iteration order must not vary run to run.
+//! * [`corpus`] — seeded structure-aware fuzz-case generation (truncation,
+//!   length-field lies, pointer loops, oversize claims) for the
+//!   adversarial parser suites.
 //!
 //! ## One seed to rule a run
 //!
@@ -26,6 +29,7 @@
 //! results; a failing property test prints the seed to rerun it.
 
 pub mod bench;
+pub mod corpus;
 pub mod hash;
 pub mod prop;
 pub mod rng;

@@ -10,8 +10,12 @@
 #   scripts/verify.sh --chaos        # additionally run the chaos suite
 #                                    # under ten fixed seeds, plus a
 #                                    # same-seed double run diffed
+#   scripts/verify.sh --adversarial  # additionally run the adversarial
+#                                    # attack suite under ten fixed
+#                                    # seeds, plus a same-seed double
+#                                    # run diffed
 #
-# Flags combine: `verify.sh --chaos --determinism` runs both extras.
+# Flags combine: `verify.sh --chaos --adversarial` runs both extras.
 #
 # The workspace is fully self-contained (every dependency is a path
 # dependency), so everything here runs with --offline: if a registry
@@ -88,6 +92,20 @@ if want --chaos "$@"; then
     MIRAGE_TEST_SEED="$seed" cargo test -q --offline --test chaos 2>&1 | norm > /tmp/mirage-chaos-run1
     MIRAGE_TEST_SEED="$seed" cargo test -q --offline --test chaos 2>&1 | norm > /tmp/mirage-chaos-run2
     diff /tmp/mirage-chaos-run1 /tmp/mirage-chaos-run2
+    echo "   ok (seed $seed)"
+fi
+
+if want --adversarial "$@"; then
+    echo "== adversarial: seeded attack suite under ten fixed seeds"
+    for seed in 1 2 3 5 8 13 42 97 1337 4242; do
+        echo "   -- seed $seed"
+        MIRAGE_TEST_SEED="$seed" cargo test -q --offline --test adversarial > /dev/null
+    done
+    echo "== adversarial: two same-seed runs must print identical output"
+    seed="${MIRAGE_TEST_SEED:-42}"
+    MIRAGE_TEST_SEED="$seed" cargo test -q --offline --test adversarial 2>&1 | norm > /tmp/mirage-adversarial-run1
+    MIRAGE_TEST_SEED="$seed" cargo test -q --offline --test adversarial 2>&1 | norm > /tmp/mirage-adversarial-run2
+    diff /tmp/mirage-adversarial-run1 /tmp/mirage-adversarial-run2
     echo "   ok (seed $seed)"
 fi
 

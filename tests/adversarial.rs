@@ -1,0 +1,994 @@
+//! Adversarial-traffic suite: seeded attacks driven through the real
+//! data path.
+//!
+//! Where `tests/chaos.rs` models a hostile *environment* (loss, faults,
+//! crashes), this suite models a hostile *peer*: SYN floods against the
+//! accept path, sequence-number injection against reassembly, hostile
+//! corpora against every wire parser, and page-table attacks against a
+//! layout-randomized image. The defences live in product code — the
+//! bounded listen backlog and SYN-cookie fallback in `mirage-net`, the
+//! first-received-wins reassembly hardening, the length-validating
+//! parsers, and the sealed randomized address space; this file is the
+//! gate that proves they hold.
+//!
+//! Every attack schedule derives from `MIRAGE_TEST_SEED` via named
+//! xoshiro streams, so any failing assertion line is a one-variable
+//! reproduction recipe, and `same_seed_runs_reproduce_byte_identical_schedules`
+//! checks the recipe is exact.
+
+use std::sync::{Arc, OnceLock};
+
+use mirage::core::{Appliance, DceLevel, Library};
+use mirage::devices::netfront::{CopyDiscipline, Netfront};
+use mirage::devices::{DriverDomain, Tap, Xenstore};
+use mirage::dns::{DnsName, DnsServer, Message, RType, ServerConfig, Zone};
+use mirage::http::{
+    HandlerFuture, HttpConnection, HttpError, HttpServer, Request, RequestParser, Response,
+    ResponseParser, Router,
+};
+use mirage::hypervisor::memory::{Mapping, MemError, Region};
+use mirage::hypervisor::{Dur, Hypervisor, Time};
+use mirage::net::tcp::{
+    self, build_segment, Connection, Event, Flags, SegmentOut, TcpConfig, TcpSegment,
+};
+use mirage::net::{arp, ethernet, ipv4, Ipv4Addr, Mac, PktBuf, Stack, StackConfig, StackStats};
+use mirage::openflow::{FlowModCommand, OfAction, OfMatch, OfMessage, NO_BUFFER};
+use mirage::pvboot::extent::{ExtentAllocator, CHUNK_SIZE};
+use mirage::runtime::UnikernelGuest;
+use mirage_testkit::corpus::CorpusGen;
+use mirage_testkit::rng::{fnv1a, Rng};
+use mirage_testkit::sync::Mutex;
+use mirage_testkit::test_seed;
+
+/// The deployment sims are heavyweight and share process-global state;
+/// adversarial tests take this lock so they never interleave.
+fn adversarial_lock() -> &'static Mutex<()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+}
+
+/// Deterministic payload so injected bytes show up as a byte-level
+/// mismatch, not just a length error.
+fn pattern(len: usize) -> Vec<u8> {
+    (0..len).map(|i| ((i * 31 + 7) & 0xFF) as u8).collect()
+}
+
+// ================================================================ SYN flood
+
+const SERVER_IP: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 80);
+const CLIENT_IP: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 99);
+const ATTACKER_IP: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 66);
+const ATTACKER_MAC: [u8; 6] = [0x02, 0, 0, 0, 0, 0x66];
+const BACKLOG: usize = 8;
+
+/// One raw SYN frame from the attacker tap to the server, with a seeded
+/// ISN and an attacker-chosen source port (each port is a fresh quad).
+fn syn_frame(src_port: u16, isn: u32) -> Vec<u8> {
+    let seg = SegmentOut {
+        seq: isn,
+        ack: 0,
+        flags: Flags {
+            syn: true,
+            ..Flags::default()
+        },
+        window: 65535,
+        mss: Some(1460),
+        wscale: None,
+        payload: PktBuf::empty(),
+    };
+    let tcp_bytes = build_segment(ATTACKER_IP, src_port, SERVER_IP, 80, &seg);
+    let ip = ipv4::build(ATTACKER_IP, SERVER_IP, ipv4::protocol::TCP, src_port, &tcp_bytes);
+    ethernet::build(
+        Mac::local(80),
+        Mac(ATTACKER_MAC),
+        ethernet::EtherType::Ipv4,
+        &ip,
+    )
+}
+
+/// One ARP request teaching the server's stack the attacker's MAC, so
+/// its SYN+ACKs unicast straight back instead of queueing behind ARP.
+fn attacker_arp_frame() -> Vec<u8> {
+    let req = arp::ArpPacket {
+        op: arp::ArpOp::Request,
+        sha: Mac(ATTACKER_MAC),
+        spa: ATTACKER_IP,
+        tha: Mac::ZERO,
+        tpa: SERVER_IP,
+    }
+    .build();
+    ethernet::build(
+        Mac::BROADCAST,
+        Mac(ATTACKER_MAC),
+        ethernet::EtherType::Arp,
+        &req,
+    )
+}
+
+/// Builds the flood topology: dom0 with an attacker tap, an HTTP
+/// appliance with a bounded listen backlog, and a stats sampler that
+/// keeps the latest [`StackStats`] visible to the host test.
+struct FloodRig {
+    hv: Hypervisor,
+    tap: Tap,
+    d0: mirage::hypervisor::DomainId,
+    stats: Arc<Mutex<Option<StackStats>>>,
+    xs: Xenstore,
+}
+
+fn flood_rig() -> FloodRig {
+    let xs = Xenstore::new();
+    let mut hv = Hypervisor::new();
+    hv.set_step_budget(600_000_000);
+
+    let tap = Tap::new(ATTACKER_MAC);
+    let mut dom0 = DriverDomain::new(xs.clone());
+    dom0.add_tap(tap.clone());
+    let d0 = hv.create_domain("dom0", 512, Box::new(dom0));
+
+    let stats_out: Arc<Mutex<Option<StackStats>>> = Arc::new(Mutex::new(None));
+    let stats_in = Arc::clone(&stats_out);
+    let (front_s, nh_s) =
+        Netfront::new(xs.clone(), "web", Mac::local(80).0, CopyDiscipline::ZeroCopy);
+    let mut server = UnikernelGuest::new(move |_env, rt| {
+        let cfg = StackConfig {
+            listen_backlog: BACKLOG,
+            ..StackConfig::static_ip(SERVER_IP)
+        };
+        let stack = Stack::spawn(rt, nh_s, cfg);
+        let sampler_stack = stack.clone();
+        let rt_sample = rt.clone();
+        let _ = rt.spawn(async move {
+            loop {
+                rt_sample.sleep(Dur::millis(10)).await;
+                if let Ok(s) = sampler_stack.stack_stats().await {
+                    *stats_in.lock() = Some(s);
+                }
+            }
+        });
+        let rt2 = rt.clone();
+        rt.spawn(async move {
+            let router = Router::new().get("/data", |_req: Request| -> HandlerFuture {
+                Box::pin(async { Response::ok("text/plain", pattern(8 * 1024)) })
+            });
+            let listener = stack.tcp_listen(80).await.unwrap();
+            HttpServer::new(router).serve(rt2, listener).await
+        })
+    });
+    server.add_device(Box::new(front_s));
+    hv.create_domain("web-appliance", 32, Box::new(server));
+
+    FloodRig {
+        hv,
+        tap,
+        d0,
+        stats: stats_out,
+        xs,
+    }
+}
+
+/// Tentpole scenario 1: a sustained SYN flood from a spoofing attacker
+/// fills the bounded backlog, the stack falls back to stateless SYN
+/// cookies, and a legitimate client still completes an HTTP transfer
+/// while the flood is running.
+#[test]
+fn syn_flood_cannot_starve_a_legitimate_client() {
+    let _guard = adversarial_lock().lock();
+    let seed = test_seed();
+    let mut rig = flood_rig();
+
+    let result_out: Arc<Mutex<Option<bool>>> = Arc::new(Mutex::new(None));
+    let result_in = Arc::clone(&result_out);
+    let (front_c, nh_c) =
+        Netfront::new(rig.xs.clone(), "cli", Mac::local(99).0, CopyDiscipline::ZeroCopy);
+    let mut client = UnikernelGuest::new(move |_env, rt| {
+        let stack = Stack::spawn(rt, nh_c, StackConfig::static_ip(CLIENT_IP));
+        let rt2 = rt.clone();
+        rt.spawn(async move {
+            // Let the flood fill the backlog first, then connect into it.
+            rt2.sleep(Dur::millis(30)).await;
+            let mut conn = loop {
+                match HttpConnection::open(&stack, SERVER_IP, 80).await {
+                    Ok(c) => break c,
+                    Err(_) => rt2.sleep(Dur::millis(20)).await,
+                }
+            };
+            let resp = conn.request(&Request::get("/data")).await.unwrap();
+            let ok = resp.status == 200 && resp.body == pattern(8 * 1024);
+            *result_in.lock() = Some(ok);
+            conn.close().await;
+            if ok {
+                0
+            } else {
+                1
+            }
+        })
+    });
+    client.add_device(Box::new(front_c));
+    let cdom = rig.hv.create_domain("legit-client", 32, Box::new(client));
+
+    // Boot the stacks, then flood: 16 fresh-quad SYNs every 2 ms for
+    // 300 ms of virtual time, sustained across the client's transfer.
+    let mut t = Time::ZERO + Dur::millis(2);
+    rig.hv.run_until(t);
+    rig.tap.inject(PktBuf::from_vec(attacker_arp_frame()));
+    rig.hv.wake_external(rig.d0);
+
+    let mut rng = Rng::for_stream(seed, "syn-flood");
+    let mut src_port: u16 = 1024;
+    for _round in 0..150 {
+        for _ in 0..16 {
+            rig.tap
+                .inject(PktBuf::from_vec(syn_frame(src_port, rng.next_u32())));
+            src_port = src_port.checked_add(1).unwrap_or(1024);
+        }
+        rig.hv.wake_external(rig.d0);
+        t += Dur::millis(2);
+        rig.hv.run_until(t);
+    }
+    rig.hv.run_until(Time::ZERO + Dur::secs(30));
+
+    assert_eq!(
+        rig.hv.exit_code(cdom),
+        Some(0),
+        "legitimate client completed its transfer under flood; \
+         reproduce with MIRAGE_TEST_SEED={seed}"
+    );
+    assert_eq!(result_out.lock().take(), Some(true));
+    let stats = rig.stats.lock().expect("sampler captured stack stats");
+    assert!(
+        stats.max_half_open <= BACKLOG as u64,
+        "half-open occupancy stayed under the configured backlog \
+         (stats: {stats:?}); reproduce with MIRAGE_TEST_SEED={seed}"
+    );
+    assert!(
+        stats.max_half_open >= 1,
+        "the flood actually created half-open state (stats: {stats:?}); \
+         reproduce with MIRAGE_TEST_SEED={seed}"
+    );
+    assert!(
+        stats.syn_cookies_sent >= 100,
+        "overflow SYNs were answered statelessly (stats: {stats:?}); \
+         reproduce with MIRAGE_TEST_SEED={seed}"
+    );
+    assert!(
+        stats.syn_cookies_accepted >= 1,
+        "the legitimate client was accepted via a returning cookie \
+         (stats: {stats:?}); reproduce with MIRAGE_TEST_SEED={seed}"
+    );
+    assert!(
+        stats.max_conns <= (BACKLOG + 4) as u64,
+        "the connection table never ballooned (stats: {stats:?}); \
+         reproduce with MIRAGE_TEST_SEED={seed}"
+    );
+}
+
+/// Tentpole scenario 2 (connection-table exhaustion): an attacker who
+/// skips the SYN and sprays forged cookie ACKs — guessing the MAC —
+/// never materializes a connection. Every forged ACK draws a stateless
+/// RST and the table stays empty.
+#[test]
+fn forged_cookie_acks_never_create_connection_state() {
+    let _guard = adversarial_lock().lock();
+    let seed = test_seed();
+    let mut rig = flood_rig();
+
+    let mut t = Time::ZERO + Dur::millis(2);
+    rig.hv.run_until(t);
+    rig.tap.inject(PktBuf::from_vec(attacker_arp_frame()));
+    rig.hv.wake_external(rig.d0);
+
+    let mut rng = Rng::for_stream(seed, "forged-cookie");
+    let mut src_port: u16 = 2048;
+    for _round in 0..40 {
+        for _ in 0..16 {
+            let seg = SegmentOut {
+                seq: rng.next_u32(),
+                ack: rng.next_u32(), // a guessed cookie ISN + 1
+                flags: Flags::ACK,
+                window: 65535,
+                mss: None,
+                wscale: None,
+                payload: PktBuf::empty(),
+            };
+            let tcp_bytes = build_segment(ATTACKER_IP, src_port, SERVER_IP, 80, &seg);
+            let ip =
+                ipv4::build(ATTACKER_IP, SERVER_IP, ipv4::protocol::TCP, src_port, &tcp_bytes);
+            rig.tap.inject(PktBuf::from_vec(ethernet::build(
+                Mac::local(80),
+                Mac(ATTACKER_MAC),
+                ethernet::EtherType::Ipv4,
+                &ip,
+            )));
+            src_port = src_port.checked_add(1).unwrap_or(2048);
+        }
+        rig.hv.wake_external(rig.d0);
+        t += Dur::millis(2);
+        rig.hv.run_until(t);
+    }
+    rig.hv.run_until(Time::ZERO + Dur::secs(2));
+
+    // Everything that came back to the attacker must be a RST; a single
+    // SYN+ACK or data segment would mean a forged cookie was honoured.
+    let mut rsts = 0u32;
+    let mut non_rsts = 0u32;
+    for frame in rig.tap.harvest() {
+        let bytes = frame.as_slice().to_vec();
+        let Some(eth) = ethernet::Frame::parse(&bytes) else {
+            continue;
+        };
+        if eth.ethertype != ethernet::EtherType::Ipv4 {
+            continue; // ARP chatter
+        }
+        let Ok(ip) = ipv4::Ipv4Packet::parse(eth.payload) else {
+            continue;
+        };
+        if ip.protocol != ipv4::protocol::TCP {
+            continue;
+        }
+        let Some(seg) = TcpSegment::parse(ip.src, ip.dst, &PktBuf::from_vec(ip.payload.to_vec()))
+        else {
+            continue;
+        };
+        if seg.flags.rst {
+            rsts += 1;
+        } else {
+            non_rsts += 1;
+        }
+    }
+    assert!(
+        rsts > 0,
+        "forged ACKs drew stateless RSTs; reproduce with MIRAGE_TEST_SEED={seed}"
+    );
+    assert_eq!(
+        non_rsts, 0,
+        "no forged ACK was ever honoured with a non-RST reply; \
+         reproduce with MIRAGE_TEST_SEED={seed}"
+    );
+    let stats = rig.stats.lock().expect("sampler captured stack stats");
+    assert_eq!(
+        stats.syn_cookies_accepted, 0,
+        "no forged cookie validated (stats: {stats:?}); \
+         reproduce with MIRAGE_TEST_SEED={seed}"
+    );
+    assert_eq!(
+        stats.max_conns, 0,
+        "the connection table stayed empty (stats: {stats:?}); \
+         reproduce with MIRAGE_TEST_SEED={seed}"
+    );
+}
+
+// ==================================================== sans-io TCP battles
+
+const A: std::net::Ipv4Addr = std::net::Ipv4Addr::new(10, 0, 0, 1);
+const B: std::net::Ipv4Addr = std::net::Ipv4Addr::new(10, 0, 0, 2);
+
+/// Wire-level pump between two sans-io connections via real
+/// serialisation (the idiom from the `mirage-net` unit tests).
+fn pump(
+    a: &mut Connection,
+    b: &mut Connection,
+    a_out: &mut Vec<SegmentOut>,
+    b_out: &mut Vec<SegmentOut>,
+    now: &mut Time,
+) -> (Vec<Event>, Vec<Event>) {
+    let mut ev_a = Vec::new();
+    let mut ev_b = Vec::new();
+    for _ in 0..400 {
+        *now += Dur::millis(1);
+        let mut quiet = true;
+        for seg in std::mem::take(a_out) {
+            let wire = PktBuf::from_vec(build_segment(A, 1000, B, 2000, &seg));
+            let parsed = TcpSegment::parse(A, B, &wire).expect("valid segment");
+            let out = b.on_segment(&parsed, *now);
+            b_out.extend(out.segments);
+            ev_b.extend(out.events);
+            quiet = false;
+        }
+        for seg in std::mem::take(b_out) {
+            let wire = PktBuf::from_vec(build_segment(B, 2000, A, 1000, &seg));
+            let parsed = TcpSegment::parse(B, A, &wire).expect("valid segment");
+            let out = a.on_segment(&parsed, *now);
+            a_out.extend(out.segments);
+            ev_a.extend(out.events);
+            quiet = false;
+        }
+        if quiet {
+            break;
+        }
+    }
+    (ev_a, ev_b)
+}
+
+/// Establishes a client (iss 100) against a server (iss 9000); after the
+/// handshake the client's `rcv_nxt` is 9001.
+fn handshake(cfg: TcpConfig) -> (Connection, Connection, Time) {
+    let mut now = Time::ZERO;
+    let (mut client, out) = Connection::connect(cfg.clone(), 100, now);
+    let mut server = Connection::listen(cfg, 9000);
+    let mut c_out = out.segments;
+    let mut s_out = Vec::new();
+    let (ev_c, ev_s) = pump(&mut client, &mut server, &mut c_out, &mut s_out, &mut now);
+    assert!(ev_c.contains(&Event::Connected));
+    assert!(ev_s.contains(&Event::Connected));
+    (client, server, now)
+}
+
+/// Delivers a hand-crafted segment from the server side (B:2000) to the
+/// client over real serialisation — the attacker's injection primitive.
+fn deliver_from_b(client: &mut Connection, seg: &SegmentOut, now: Time) -> tcp::Output {
+    let wire = PktBuf::from_vec(build_segment(B, 2000, A, 1000, seg));
+    let parsed = TcpSegment::parse(B, A, &wire).expect("valid segment");
+    client.on_segment(&parsed, now)
+}
+
+fn data_seg(seq: u32, payload: Vec<u8>) -> SegmentOut {
+    SegmentOut {
+        seq,
+        ack: 101,
+        flags: Flags::ACK,
+        window: 65535,
+        mss: None,
+        wscale: None,
+        payload: PktBuf::from_vec(payload),
+    }
+}
+
+fn rst_seg(seq: u32) -> SegmentOut {
+    SegmentOut {
+        seq,
+        ack: 101,
+        flags: Flags {
+            rst: true,
+            ..Flags::default()
+        },
+        window: 0,
+        mss: None,
+        wscale: None,
+        payload: PktBuf::empty(),
+    }
+}
+
+/// Tentpole scenario 3: overlapping retransmits with conflicting bytes.
+/// The first-received byte wins, the conflicting copies are counted and
+/// dropped, and exact duplicates are not miscounted as conflicts.
+#[test]
+fn overlapping_retransmits_first_received_bytes_win() {
+    let _guard = adversarial_lock().lock();
+    let seed = test_seed();
+    let (mut client, _server, now) = handshake(TcpConfig::default());
+
+    // Out-of-order original: bytes 9011..9021 arrive first as 0xAA.
+    let out = deliver_from_b(&mut client, &data_seg(9011, vec![0xAA; 10]), now);
+    assert!(out.events.is_empty(), "stashed, not delivered");
+
+    // Conflicting "retransmit" claims 9006..9026 as 0xBB. Only the
+    // uncovered flanks may land; the 0xAA middle must survive.
+    deliver_from_b(&mut client, &data_seg(9006, vec![0xBB; 20]), now);
+    assert!(
+        client.stats().overlap_conflicts >= 1,
+        "the conflicting overlap was counted; reproduce with MIRAGE_TEST_SEED={seed}"
+    );
+
+    // An exact duplicate of the original is benign — not a conflict.
+    let conflicts_before = client.stats().overlap_conflicts;
+    deliver_from_b(&mut client, &data_seg(9011, vec![0xAA; 10]), now);
+    assert_eq!(
+        client.stats().overlap_conflicts,
+        conflicts_before,
+        "byte-identical overlap is not a conflict; reproduce with MIRAGE_TEST_SEED={seed}"
+    );
+
+    // Fill the head hole 9001..9006; everything drains in order.
+    let out = deliver_from_b(&mut client, &data_seg(9001, vec![0xCC; 5]), now);
+    let mut delivered = Vec::new();
+    for ev in out.events {
+        if let Event::Data(buf) = ev {
+            delivered.extend_from_slice(buf.as_slice());
+        }
+    }
+    let mut expected = vec![0xCC; 5];
+    expected.extend_from_slice(&[0xBB; 5]);
+    expected.extend_from_slice(&[0xAA; 10]);
+    expected.extend_from_slice(&[0xBB; 5]);
+    assert_eq!(
+        delivered, expected,
+        "first-received bytes won the overlap battle; \
+         reproduce with MIRAGE_TEST_SEED={seed}"
+    );
+}
+
+/// Runs the seeded blind-injection battle and returns the client's final
+/// stats plus a byte-exact transcript of the schedule (reused by the
+/// determinism test).
+fn blind_injection_battle(seed: u64) -> (tcp::TcpStats, String) {
+    let (mut client, _server, now) = handshake(TcpConfig::default());
+    let recv_buf = TcpConfig::default().recv_buf;
+    let mut rng = Rng::for_stream(seed, "blind-rst");
+    let mut transcript = String::new();
+
+    // 200 blind RST guesses over the whole sequence space: none may
+    // tear the connection down, every one must be counted.
+    for i in 0..200u32 {
+        let mut guess = rng.next_u32();
+        if guess == 9001 {
+            guess ^= 0x8000_0000; // keep the guess blind
+        }
+        let out = deliver_from_b(&mut client, &rst_seg(guess), now);
+        assert!(
+            out.events.is_empty() && client.state() == tcp::State::Established,
+            "blind RST guess {guess:#x} must not reset; \
+             reproduce with MIRAGE_TEST_SEED={seed}"
+        );
+        transcript.push_str(&format!("rst {i} {guess:08x} {}\n", out.segments.len()));
+    }
+
+    // A deliberately in-window (but inexact) RST draws a challenge ACK
+    // and still does not reset.
+    let out = deliver_from_b(&mut client, &rst_seg(9001 + 1000), now);
+    assert!(
+        !out.segments.is_empty(),
+        "in-window inexact RST draws a challenge ACK; \
+         reproduce with MIRAGE_TEST_SEED={seed}"
+    );
+    assert_eq!(client.state(), tcp::State::Established);
+
+    // Data injection claiming to come from beyond the receive window is
+    // dropped and counted, never delivered.
+    let beyond = 9001u32.wrapping_add(recv_buf as u32 + 5000);
+    let out = deliver_from_b(&mut client, &data_seg(beyond, vec![0x6A; 32]), now);
+    assert!(
+        !out.events.iter().any(|e| matches!(e, Event::Data(_))),
+        "out-of-window data never reaches the application; \
+         reproduce with MIRAGE_TEST_SEED={seed}"
+    );
+    assert_eq!(client.state(), tcp::State::Established);
+
+    // Only exact sequence knowledge resets the connection.
+    let out = deliver_from_b(&mut client, &rst_seg(9001), now);
+    assert!(
+        out.events.contains(&Event::Reset),
+        "an exact-sequence RST still works; reproduce with MIRAGE_TEST_SEED={seed}"
+    );
+    let stats = client.stats();
+    transcript.push_str(&format!("final {stats:?}\n"));
+    (stats, transcript)
+}
+
+/// Tentpole scenario 4: blind RST/data injection. 201 inexact guesses
+/// are all dropped and counted; the exact one still resets.
+#[test]
+fn blind_rst_and_data_injection_need_exact_sequence_knowledge() {
+    let _guard = adversarial_lock().lock();
+    let seed = test_seed();
+    let (stats, _transcript) = blind_injection_battle(seed);
+    assert_eq!(
+        stats.injections_dropped,
+        200 + 1 + 1, // blind RSTs + in-window RST + out-of-window data
+        "every hostile segment was counted (stats: {stats:?}); \
+         reproduce with MIRAGE_TEST_SEED={seed}"
+    );
+}
+
+/// Tentpole scenario 5: one hostile flow spraying distinct in-window
+/// out-of-order segments cannot exhaust memory — the reassembly buffer
+/// is capped, evictions are counted, and the connection recovers to a
+/// byte-perfect stream once the real data is retransmitted in order.
+#[test]
+fn ooo_reassembly_buffer_is_bounded_and_recovers() {
+    let _guard = adversarial_lock().lock();
+    let seed = test_seed();
+    let cfg = TcpConfig {
+        ooo_max_segments: 8,
+        ooo_max_bytes: 4096,
+        ..TcpConfig::default()
+    };
+    let (mut client, _server, now) = handshake(cfg);
+    let stream = pattern(2048);
+
+    // 200 single-byte out-of-order segments at distinct in-window
+    // offsets (all > 0, so none is deliverable).
+    for i in 0..200u32 {
+        let off = (1 + 2 * i) as usize;
+        let seg = data_seg(9001 + off as u32, vec![stream[off]]);
+        deliver_from_b(&mut client, &seg, now);
+    }
+    let stats = client.stats();
+    assert_eq!(
+        stats.ooo_evictions, 192,
+        "the cap held: 200 stashes, 8 retained, 192 evicted \
+         (stats: {stats:?}); reproduce with MIRAGE_TEST_SEED={seed}"
+    );
+
+    // The legitimate sender retransmits the stream in order; delivery
+    // must be byte-perfect despite the leftover stash fragments.
+    let mut delivered = Vec::new();
+    for k in 0..4u32 {
+        let off = (k * 512) as usize;
+        let out = deliver_from_b(
+            &mut client,
+            &data_seg(9001 + off as u32, stream[off..off + 512].to_vec()),
+            now,
+        );
+        for ev in out.events {
+            if let Event::Data(buf) = ev {
+                delivered.extend_from_slice(buf.as_slice());
+            }
+        }
+    }
+    assert_eq!(
+        delivered, stream,
+        "the stream reassembled byte-perfect after eviction pressure; \
+         reproduce with MIRAGE_TEST_SEED={seed}"
+    );
+    let stats = client.stats();
+    assert_eq!(
+        stats.overlap_conflicts, 0,
+        "consistent retransmits never count as conflicts \
+         (stats: {stats:?}); reproduce with MIRAGE_TEST_SEED={seed}"
+    );
+    assert_eq!(client.state(), tcp::State::Established);
+}
+
+// ============================================================ parser fuzz
+
+const FUZZ_CASES: usize = 1200;
+
+fn dns_exemplars() -> Vec<Vec<u8>> {
+    let q1 = Message::query(1, DnsName::parse("host7.example.org").unwrap(), RType::A).encode();
+    let q2 = Message::query(
+        2,
+        DnsName::parse("deep.sub.zone.example.org").unwrap(),
+        RType::Ns,
+    )
+    .encode();
+    let zone = Zone::synthesize("example.org", 16);
+    let server = DnsServer::new(zone, ServerConfig::default());
+    let resp = server.answer(&q1).expect("authoritative answer");
+    vec![q1, q2, resp]
+}
+
+fn http_exemplars() -> Vec<Vec<u8>> {
+    vec![
+        Request::get("/data").encode(),
+        Request::post("/submit", pattern(64)).encode(),
+        Response::ok("text/plain", pattern(128)).encode(),
+        Response::status(404).encode(),
+    ]
+}
+
+fn of_exemplars() -> Vec<Vec<u8>> {
+    let flow_mod = OfMessage::FlowMod {
+        xid: 5,
+        mat: OfMatch {
+            in_port: Some(1),
+            dl_src: Some(Mac::local(1).0),
+            dl_dst: Some(Mac::local(2).0),
+            dl_type: Some(0x0800),
+        },
+        command: FlowModCommand::Add,
+        priority: 10,
+        idle_timeout: 60,
+        actions: vec![OfAction::Output(2)],
+    };
+    vec![
+        OfMessage::Hello { xid: 1 }.encode(),
+        OfMessage::EchoRequest {
+            xid: 2,
+            payload: pattern(16),
+        }
+        .encode(),
+        OfMessage::FeaturesReply {
+            xid: 3,
+            datapath_id: 0xD1,
+            n_ports: 4,
+        }
+        .encode(),
+        OfMessage::PacketIn {
+            xid: 4,
+            buffer_id: NO_BUFFER,
+            in_port: 1,
+            data: pattern(32),
+        }
+        .encode(),
+        flow_mod.encode(),
+        OfMessage::Error {
+            xid: 6,
+            etype: 1,
+            code: 2,
+        }
+        .encode(),
+    ]
+}
+
+/// Tentpole scenario 6: ≥1000 seeded structure-aware mutations of valid
+/// DNS wire messages. The parser must return errors — never panic,
+/// never over-read a view (an over-read would panic and be caught here).
+#[test]
+fn dns_parser_survives_a_seeded_hostile_corpus() {
+    let _guard = adversarial_lock().lock();
+    let seed = test_seed();
+    let exemplars = dns_exemplars();
+    let corpus = CorpusGen::for_stream(seed, "fuzz-dns").corpus(&exemplars, FUZZ_CASES);
+    let zone = Zone::synthesize("example.org", 16);
+    let server = DnsServer::new(zone, ServerConfig::default());
+
+    let mut errs = 0usize;
+    let mut panics = 0usize;
+    for case in &corpus {
+        let outcome = std::panic::catch_unwind(|| {
+            let parsed = Message::parse(case);
+            let _ = server.answer(case);
+            parsed.is_err()
+        });
+        match outcome {
+            Ok(true) => errs += 1,
+            Ok(false) => {}
+            Err(_) => panics += 1,
+        }
+    }
+    assert_eq!(
+        panics, 0,
+        "zero panics across {FUZZ_CASES} hostile DNS cases; \
+         reproduce with MIRAGE_TEST_SEED={seed}"
+    );
+    assert!(
+        errs > FUZZ_CASES / 20,
+        "the corpus was actually hostile ({errs} parse errors); \
+         reproduce with MIRAGE_TEST_SEED={seed}"
+    );
+}
+
+/// Tentpole scenario 7: the HTTP request/response parsers over the same
+/// mutation classes, plus the explicit content-length-lie cases.
+#[test]
+fn http_parsers_survive_a_seeded_hostile_corpus() {
+    let _guard = adversarial_lock().lock();
+    let seed = test_seed();
+    let exemplars = http_exemplars();
+    let corpus = CorpusGen::for_stream(seed, "fuzz-http").corpus(&exemplars, FUZZ_CASES);
+
+    let mut errs = 0usize;
+    let mut panics = 0usize;
+    for case in &corpus {
+        let bytes = case.clone();
+        let outcome = std::panic::catch_unwind(move || {
+            let mut hostile = false;
+            let mut req = RequestParser::new();
+            req.feed(bytes.clone());
+            for _ in 0..4 {
+                match req.take() {
+                    Ok(Some(_)) => {}
+                    Ok(None) => break,
+                    Err(_) => {
+                        hostile = true;
+                        break;
+                    }
+                }
+            }
+            let mut resp = ResponseParser::new();
+            resp.feed(bytes);
+            for _ in 0..4 {
+                match resp.take() {
+                    Ok(Some(_)) => {}
+                    Ok(None) => break,
+                    Err(_) => {
+                        hostile = true;
+                        break;
+                    }
+                }
+            }
+            hostile
+        });
+        match outcome {
+            Ok(true) => errs += 1,
+            Ok(false) => {}
+            Err(_) => panics += 1,
+        }
+    }
+    assert_eq!(
+        panics, 0,
+        "zero panics across {FUZZ_CASES} hostile HTTP cases; \
+         reproduce with MIRAGE_TEST_SEED={seed}"
+    );
+    assert!(
+        errs >= 1,
+        "the corpus produced at least one parse error; \
+         reproduce with MIRAGE_TEST_SEED={seed}"
+    );
+
+    // The length-lie attack, spelled out: a body claim past the sanity
+    // bound is an error up front, not an unbounded buffer.
+    let mut p = RequestParser::new();
+    p.feed(b"POST /x HTTP/1.1\r\ncontent-length: 999999999\r\n\r\n".to_vec());
+    assert_eq!(p.take(), Err(HttpError::TooLarge));
+    let mut p = RequestParser::new();
+    p.feed(b"POST /x HTTP/1.1\r\ncontent-length: banana\r\n\r\n".to_vec());
+    assert_eq!(p.take(), Err(HttpError::Malformed));
+}
+
+/// Tentpole scenario 8: the OpenFlow wire parser over the same mutation
+/// classes — length-field lies are a classic OF parser crash.
+#[test]
+fn openflow_parser_survives_a_seeded_hostile_corpus() {
+    let _guard = adversarial_lock().lock();
+    let seed = test_seed();
+    let exemplars = of_exemplars();
+    let corpus = CorpusGen::for_stream(seed, "fuzz-of").corpus(&exemplars, FUZZ_CASES);
+
+    let mut errs = 0usize;
+    let mut panics = 0usize;
+    for case in &corpus {
+        match std::panic::catch_unwind(|| OfMessage::parse(case).is_err()) {
+            Ok(true) => errs += 1,
+            Ok(false) => {}
+            Err(_) => panics += 1,
+        }
+    }
+    assert_eq!(
+        panics, 0,
+        "zero panics across {FUZZ_CASES} hostile OpenFlow cases; \
+         reproduce with MIRAGE_TEST_SEED={seed}"
+    );
+    assert!(
+        errs > FUZZ_CASES / 20,
+        "the corpus was actually hostile ({errs} parse errors); \
+         reproduce with MIRAGE_TEST_SEED={seed}"
+    );
+}
+
+// ===================================================== ASLR and sealing
+
+/// Seeded first-extent offsets of a randomized pvboot allocator — the
+/// suite's model of load-address randomization.
+fn randomized_extent_offsets(seed: u64) -> Vec<u64> {
+    let mut alloc = ExtentAllocator::new_randomized(64 * CHUNK_SIZE, seed);
+    (0..4)
+        .map(|_| alloc.alloc(2).expect("room for four 2-chunk extents").offset)
+        .collect()
+}
+
+/// Tentpole scenario 9: address-space randomization over the image
+/// layout and the extent allocator, with the seal surviving it. Layouts
+/// vary per seed yet rebuild identically per seed, and a randomized,
+/// sealed appliance still rejects every page-table attack.
+#[test]
+fn aslr_randomizes_layout_while_sealing_still_holds() {
+    let _guard = adversarial_lock().lock();
+    let seed = test_seed();
+    let mut rng = Rng::for_stream(seed, "aslr");
+    let layout_seeds: Vec<u64> = (0..8).map(|_| rng.next_u64()).collect();
+
+    // Compile-time layout randomization: the would-be ROP target moves
+    // across deployments, and same-seed builds are reproducible.
+    let build = |s: u64| {
+        Appliance::builder("dns")
+            .library(Library::APP_DNS)
+            .dce(DceLevel::FunctionLevel)
+            .layout_seed(s)
+            .build()
+            .unwrap()
+    };
+    let addrs: Vec<u64> = layout_seeds
+        .iter()
+        .map(|&s| {
+            let a = build(s);
+            assert!(a.image().layout_is_valid());
+            a.image().section_address("udp").expect("udp linked")
+        })
+        .collect();
+    let distinct: std::collections::HashSet<_> = addrs.iter().collect();
+    assert!(
+        distinct.len() >= 6,
+        "section addresses vary across seeded deployments: {addrs:?}; \
+         reproduce with MIRAGE_TEST_SEED={seed}"
+    );
+    assert_eq!(
+        build(layout_seeds[0]).image(),
+        build(layout_seeds[0]).image(),
+        "same layout seed rebuilds the identical image; \
+         reproduce with MIRAGE_TEST_SEED={seed}"
+    );
+
+    // Runtime extent randomization: placements vary per seed and are a
+    // pure function of the seed.
+    let first_offsets: std::collections::HashSet<u64> = layout_seeds
+        .iter()
+        .map(|&s| randomized_extent_offsets(s)[0])
+        .collect();
+    assert!(
+        first_offsets.len() >= 4,
+        "extent placement actually varies across seeds; \
+         reproduce with MIRAGE_TEST_SEED={seed}"
+    );
+    assert_eq!(
+        randomized_extent_offsets(layout_seeds[1]),
+        randomized_extent_offsets(layout_seeds[1]),
+        "extent placement is a pure function of the seed; \
+         reproduce with MIRAGE_TEST_SEED={seed}"
+    );
+
+    // W^X and the seal survive randomization: for two different layouts
+    // the compromised-runtime attack battery still bounces.
+    for &s in &layout_seeds[..2] {
+        let appliance = build(s);
+        let guest = appliance.into_guest(32, |env, rt| {
+            let base = mirage::pvboot::layout::GUEST_BASE;
+            let attacks: [Result<(), MemError>; 3] = [
+                env.mmu_protect(base + 0x200000, true, true).map(|_| ()),
+                env.mmu_map(Mapping {
+                    vaddr: 0x7000_0000,
+                    pages: 1,
+                    writable: true,
+                    executable: true,
+                    region: Region::Text,
+                }),
+                env.mmu_unmap(base).map(|_| ()),
+            ];
+            for (i, result) in attacks.iter().enumerate() {
+                assert!(
+                    matches!(result, Err(MemError::Sealed) | Err(MemError::NotMapped)),
+                    "attack {i} must bounce off the randomized seal, got {result:?}"
+                );
+            }
+            rt.spawn(async { 0i64 })
+        });
+        let mut hv = Hypervisor::new();
+        let dom = hv.create_domain("aslr-victim", 32, Box::new(guest));
+        hv.run();
+        assert_eq!(hv.exit_code(dom), Some(0));
+        let aspace = hv.address_space(dom);
+        assert!(
+            aspace.is_sealed() && aspace.satisfies_wx(),
+            "W^X survives randomization (layout seed {s:#x}); \
+             reproduce with MIRAGE_TEST_SEED={seed}"
+        );
+        assert!(
+            aspace.rejected_updates() >= 2,
+            "the attacks were counted; reproduce with MIRAGE_TEST_SEED={seed}"
+        );
+    }
+}
+
+// ========================================================== determinism
+
+/// A byte-exact transcript of every seeded schedule the suite uses:
+/// injection battle, all three fuzz corpora, and extent placement.
+fn seeded_transcript(seed: u64) -> String {
+    let (_stats, mut t) = blind_injection_battle(seed);
+    for (name, exemplars) in [
+        ("fuzz-dns", dns_exemplars()),
+        ("fuzz-http", http_exemplars()),
+        ("fuzz-of", of_exemplars()),
+    ] {
+        let corpus = CorpusGen::for_stream(seed, name).corpus(&exemplars, 300);
+        let mut concat = Vec::new();
+        for case in &corpus {
+            concat.extend_from_slice(&(case.len() as u32).to_be_bytes());
+            concat.extend_from_slice(case);
+        }
+        t.push_str(&format!("{name} {:016x}\n", fnv1a(&concat)));
+    }
+    t.push_str(&format!("extents {:?}\n", randomized_extent_offsets(seed)));
+    t
+}
+
+/// Same seed ⇒ byte-identical schedule, stats and outcome; a different
+/// seed produces a different schedule.
+#[test]
+fn same_seed_runs_reproduce_byte_identical_schedules() {
+    let _guard = adversarial_lock().lock();
+    let seed = test_seed();
+    let first = seeded_transcript(seed);
+    let second = seeded_transcript(seed);
+    assert_eq!(
+        first, second,
+        "two same-seed runs diverged; reproduce with MIRAGE_TEST_SEED={seed}"
+    );
+    let other = seeded_transcript(seed ^ 0xDEAD_BEEF);
+    assert_ne!(
+        first, other,
+        "different seeds drive different schedules; \
+         reproduce with MIRAGE_TEST_SEED={seed}"
+    );
+}
