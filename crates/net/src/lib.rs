@@ -35,7 +35,9 @@ pub mod udp;
 
 pub use addr::{Ipv4Addr, Mac};
 pub use mirage_cstruct::{copy_counters, record_copy, reset_copy_counters, CopyCounters, PktBuf};
-pub use stack::{NetError, Stack, StackConfig, StackStats, TcpListener, TcpStream, UdpSocket};
+pub use stack::{
+    idle_conn_bytes, NetError, Stack, StackConfig, StackStats, TcpListener, TcpStream, UdpSocket,
+};
 
 #[cfg(test)]
 mod tests {

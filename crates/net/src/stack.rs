@@ -7,11 +7,13 @@
 //! traffic directly to the relevant application thread, blocking on
 //! intermediate system events if necessary" (paper §3.5).
 
-use std::collections::{HashMap, HashSet};
+use std::collections::HashMap;
 use std::net::Ipv4Addr;
 use std::sync::Arc;
 
+use mirage_testkit::hash::DetHashMap;
 use mirage_testkit::sync::Mutex;
+use mirage_testkit::wheel::{TimerId, TimerWheel};
 
 use mirage_cstruct::{PagePool, PktBuf, PAGE_SIZE};
 use mirage_devices::netfront::NetHandle;
@@ -88,6 +90,10 @@ pub struct StackStats {
     pub syn_cookies_sent: u64,
     /// Connections established from a validated returning cookie ACK.
     pub syn_cookies_accepted: u64,
+    /// `Connection::poll` calls driven by the deadline wheel. An idle
+    /// connection arms no deadline, so a quiet tick polls nothing — the
+    /// scale suite asserts this stays zero across 100k idle connections.
+    pub timer_polls: u64,
 }
 
 /// Errors surfaced to socket users.
@@ -374,6 +380,143 @@ struct ConnEntry {
     connect_reply: Option<Sender<Result<TcpStream, NetError>>>,
     from_listener: Option<u16>,
     dead: bool,
+    /// The armed deadline-wheel entry, if the connection has a pending
+    /// timer (retransmit/persist/TIME-WAIT). Idle established connections
+    /// keep this `None` and are never touched by `on_timers`.
+    timer: Option<(Time, TimerId)>,
+    /// True while this entry sits in the `dirty` flush list.
+    dirty: bool,
+    /// True while counted in the stack's O(1) half-open gauge.
+    half_open_counted: bool,
+}
+
+/// Shard count for the connection table: a power of two so the low bits
+/// of a connection id name its shard. 64 shards keeps each sub-table at
+/// ~16k entries even at a million connections, and is the seam the SMP
+/// work will later pin per-vCPU.
+const SHARD_BITS: u32 = 6;
+const SHARDS: usize = 1 << SHARD_BITS;
+
+/// The symmetric RSS hash key (Microsoft's canonical 40-byte Toeplitz key
+/// truncated to the 12 bytes a v4 3-tuple consumes, plus slack). Fixed,
+/// like real NICs configure it once at init — determinism comes free.
+const RSS_KEY: [u8; 16] = [
+    0x6d, 0x5a, 0x56, 0xda, 0x25, 0x5b, 0x0e, 0xc2, 0x41, 0x67, 0x25, 0x3d, 0x43, 0xa3, 0x8f,
+    0xb0,
+];
+
+/// RSS-style Toeplitz hash over the flow tuple (peer ip, peer port, local
+/// port — the local ip is fixed per interface). Bit `i` of the input
+/// XORs a 32-bit window of the key into the hash, exactly the scheme NIC
+/// receive-side scaling uses to spread flows across queues.
+fn flow_hash(peer: Ipv4Addr, peer_port: u16, local_port: u16) -> u32 {
+    let mut input = [0u8; 8];
+    input[..4].copy_from_slice(&peer.octets());
+    input[4..6].copy_from_slice(&peer_port.to_be_bytes());
+    input[6..8].copy_from_slice(&local_port.to_be_bytes());
+    let mut hash = 0u32;
+    let mut window = u32::from_be_bytes(RSS_KEY[..4].try_into().expect("4 bytes"));
+    for (i, byte) in input.into_iter().enumerate() {
+        for bit in 0..8u32 {
+            if byte & (0x80 >> bit) != 0 {
+                hash ^= window;
+            }
+            let next_bit = RSS_KEY[i + 4] & (0x80 >> bit) != 0;
+            window = (window << 1) | u32::from(next_bit);
+        }
+    }
+    hash
+}
+
+#[derive(Default)]
+struct Shard {
+    conns: DetHashMap<u64, Box<ConnEntry>>,
+    quads: DetHashMap<(Ipv4Addr, u16, u16), u64>,
+}
+
+/// The sharded connection table. A connection id is
+/// `(sequence << SHARD_BITS) | shard`, so id→shard is a mask and the
+/// 4-tuple→shard mapping is the RSS flow hash — every lookup touches
+/// exactly one sub-table.
+struct ConnTable {
+    shards: Vec<Shard>,
+    next_seq: u64,
+    len: usize,
+}
+
+impl ConnTable {
+    fn new() -> ConnTable {
+        ConnTable {
+            shards: (0..SHARDS).map(|_| Shard::default()).collect(),
+            next_seq: 1,
+            len: 0,
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn shard_of(id: u64) -> usize {
+        (id & (SHARDS as u64 - 1)) as usize
+    }
+
+    fn insert(&mut self, entry: ConnEntry) -> u64 {
+        let quad = (entry.peer.0, entry.peer.1, entry.local_port);
+        let shard = (flow_hash(quad.0, quad.1, quad.2) & (SHARDS as u32 - 1)) as usize;
+        let id = (self.next_seq << SHARD_BITS) | shard as u64;
+        self.next_seq += 1;
+        let s = &mut self.shards[shard];
+        s.conns.insert(id, Box::new(entry));
+        s.quads.insert(quad, id);
+        self.len += 1;
+        id
+    }
+
+    fn lookup_quad(&self, quad: &(Ipv4Addr, u16, u16)) -> Option<u64> {
+        let shard = (flow_hash(quad.0, quad.1, quad.2) & (SHARDS as u32 - 1)) as usize;
+        self.shards[shard].quads.get(quad).copied()
+    }
+
+    fn get(&self, id: u64) -> Option<&ConnEntry> {
+        self.shards[Self::shard_of(id)].conns.get(&id).map(|b| &**b)
+    }
+
+    fn get_mut(&mut self, id: u64) -> Option<&mut ConnEntry> {
+        self.shards[Self::shard_of(id)]
+            .conns
+            .get_mut(&id)
+            .map(|b| &mut **b)
+    }
+
+    fn remove(&mut self, id: u64) -> Option<Box<ConnEntry>> {
+        let s = &mut self.shards[Self::shard_of(id)];
+        let entry = s.conns.remove(&id)?;
+        s.quads
+            .remove(&(entry.peer.0, entry.peer.1, entry.local_port));
+        self.len -= 1;
+        Some(entry)
+    }
+}
+
+/// Audited heap bytes one idle connection pins in the stack: the boxed
+/// [`ConnEntry`] (TCB, stream sender, parked timer slot) plus the two
+/// table index entries that find it (`conns` key + boxed-entry pointer,
+/// `quads` key + id). An idle keep-alive connection holds no buffered
+/// segments and arms no wheel entry, so this *is* its whole budget —
+/// the C1M scenario prints it next to the measured RSS delta.
+pub fn idle_conn_bytes() -> usize {
+    std::mem::size_of::<ConnEntry>()
+        + std::mem::size_of::<u64>()                        // conns key
+        + std::mem::size_of::<usize>()                      // Box pointer
+        + std::mem::size_of::<(Ipv4Addr, u16, u16)>()       // quads key
+        + std::mem::size_of::<u64>()                        // quads value
+}
+
+/// What a fired stack-wheel entry stands for.
+enum WheelItem {
+    Conn(u64),
+    Ping(u16),
 }
 
 /// Handle to a running network stack.
@@ -513,8 +656,9 @@ impl Stack {
 struct PendingPing {
     reply: Sender<Result<Dur, NetError>>,
     sent_at: Time,
-    deadline: Time,
     dst: Ipv4Addr,
+    /// Timeout entry in the deadline wheel, cancelled on reply.
+    timer: TimerId,
 }
 
 struct Inner {
@@ -527,13 +671,11 @@ struct Inner {
     netmask: Ipv4Addr,
     gateway: Option<Ipv4Addr>,
     arp: ArpCache,
-    conns: HashMap<u64, ConnEntry>,
-    quads: HashMap<(Ipv4Addr, u16, u16), u64>,
+    table: ConnTable,
     listeners: HashMap<u16, Sender<TcpStream>>,
     udp_socks: HashMap<u16, Sender<UdpDelivery>>,
     pings: HashMap<u16, PendingPing>,
     dhcp: Option<dhcp::Client>,
-    next_conn: u64,
     next_port: u16,
     ident: u16,
     iss: u32,
@@ -542,8 +684,19 @@ struct Inner {
     /// TX pages for single-pass frame assembly (headers + payload written
     /// once, handed to the ring as one view).
     pool: PagePool,
-    /// Connections with writes buffered since the last `flush_tx`.
-    dirty: HashSet<u64>,
+    /// Connections with writes buffered since the last `flush_tx`
+    /// (deduplicated by `ConnEntry::dirty`, drained without reallocating).
+    dirty: Vec<u64>,
+    /// Per-connection timer deadlines plus ping timeouts: `on_timers`
+    /// pays only for entries that are actually due.
+    wheel: TimerWheel<WheelItem>,
+    /// Scratch for draining the wheel without a per-tick allocation.
+    due_scratch: Vec<WheelItem>,
+    /// Live count of listener-spawned SYN-received entries, maintained
+    /// incrementally so the per-SYN backlog check is O(1).
+    half_open: usize,
+    /// One shared config for every connection on this interface.
+    tcp_cfg: Arc<TcpConfig>,
     stats: StackStats,
     /// Keyed into the SYN-cookie MAC. Fixed for determinism of the
     /// simulation; a real deployment would draw it per boot.
@@ -587,6 +740,7 @@ impl Inner {
         ready: Notify,
     ) -> Inner {
         let mac = Mac(nh.mac);
+        let tcp_cfg = Arc::new(cfg.tcp.clone());
         Inner {
             rt,
             mac,
@@ -597,38 +751,68 @@ impl Inner {
             ip_cell,
             ready,
             arp: ArpCache::new(),
-            conns: HashMap::new(),
-            quads: HashMap::new(),
+            table: ConnTable::new(),
             listeners: HashMap::new(),
             udp_socks: HashMap::new(),
             pings: HashMap::new(),
             dhcp: None,
-            next_conn: 1,
             next_port: 49152,
             ident: 1,
             iss: 10_000,
             ping_seq: 1,
             cmd_tx_for_streams: None,
             pool: PagePool::new(256),
-            dirty: HashSet::new(),
+            dirty: Vec::new(),
+            wheel: TimerWheel::new(),
+            due_scratch: Vec::new(),
+            half_open: 0,
+            tcp_cfg,
             stats: StackStats::default(),
             cookie_secret: 0x6D69_7261_6765_2D63,
         }
     }
 
-    /// Refreshes the occupancy gauges and their high-water marks.
+    /// Refreshes the occupancy gauges and their high-water marks — O(1):
+    /// both gauges are maintained incrementally, not recounted.
     fn note_occupancy(&mut self) {
-        self.stats.conns = self.conns.len() as u64;
-        self.stats.half_open = self.half_open_count() as u64;
+        self.stats.conns = self.table.len() as u64;
+        self.stats.half_open = self.half_open as u64;
         self.stats.max_conns = self.stats.max_conns.max(self.stats.conns);
         self.stats.max_half_open = self.stats.max_half_open.max(self.stats.half_open);
     }
 
-    fn half_open_count(&self) -> usize {
-        self.conns
-            .values()
-            .filter(|e| e.from_listener.is_some() && e.conn.state() == tcp::State::SynRcvd)
-            .count()
+    /// Reconciles the half-open gauge with a connection's current state
+    /// (listener-spawned and still SYN-received ⇒ counted).
+    fn sync_half_open(&mut self, id: u64) {
+        let Some(e) = self.table.get_mut(id) else {
+            return;
+        };
+        let counted = e.from_listener.is_some() && e.conn.state() == tcp::State::SynRcvd && !e.dead;
+        if counted != e.half_open_counted {
+            e.half_open_counted = counted;
+            if counted {
+                self.half_open += 1;
+            } else {
+                self.half_open -= 1;
+            }
+        }
+    }
+
+    /// Re-arms (or disarms) a connection's deadline-wheel entry to `want`.
+    fn set_conn_timer(&mut self, id: u64, want: Option<Time>) {
+        let Some(e) = self.table.get_mut(id) else {
+            return;
+        };
+        match (e.timer, want) {
+            (Some((t, _)), Some(w)) if t == w => {}
+            (prev, want) => {
+                if let Some((_, tid)) = prev {
+                    self.wheel.cancel(tid);
+                }
+                e.timer =
+                    want.map(|w| (w, self.wheel.insert(w.as_nanos(), WheelItem::Conn(id))));
+            }
+        }
     }
 
     fn ip(&self) -> Ipv4Addr {
@@ -674,7 +858,10 @@ impl Inner {
         }
     }
 
-    fn next_deadline(&self) -> Option<Time> {
+    /// The earliest pending deadline across every timer source. O(1) in
+    /// the connection count: per-connection and ping deadlines live in
+    /// the wheel, whose minimum is cached.
+    fn next_deadline(&mut self) -> Option<Time> {
         let mut d: Option<Time> = None;
         let mut fold = |t: Option<Time>| {
             if let Some(t) = t {
@@ -684,14 +871,11 @@ impl Inner {
                 });
             }
         };
-        for entry in self.conns.values() {
-            fold(entry.conn.next_deadline());
-        }
+        fold(self.wheel.next_deadline().map(Time::from_nanos));
         fold(self.arp.next_deadline());
         if let Some(c) = &self.dhcp {
             fold(c.next_deadline());
         }
-        fold(self.pings.values().map(|p| p.deadline).min());
         d
     }
 
@@ -877,10 +1061,15 @@ impl Inner {
             return;
         }
         let now = self.rt.now();
-        let ids: Vec<u64> = self.dirty.drain().collect();
-        for id in ids {
-            let segments = match self.conns.get_mut(&id) {
-                Some(e) if !e.dead => e.conn.transmit(now),
+        // Reuse the list's allocation across iterations: take it, drain
+        // it, hand it back (nothing re-dirties connections mid-flush).
+        let mut ids = std::mem::take(&mut self.dirty);
+        for &id in &ids {
+            let segments = match self.table.get_mut(id) {
+                Some(e) if !e.dead => {
+                    e.dirty = false;
+                    e.conn.transmit(now)
+                }
                 _ => continue,
             };
             if !segments.is_empty() {
@@ -891,8 +1080,16 @@ impl Inner {
                         events: Vec::new(),
                     },
                 );
+            } else {
+                // `transmit` can still have armed a timer (e.g. a persist
+                // probe scheduled against a closed window).
+                let want = self.table.get(id).and_then(|e| e.conn.next_deadline());
+                self.set_conn_timer(id, want);
             }
         }
+        ids.clear();
+        ids.append(&mut self.dirty);
+        self.dirty = ids;
     }
 
     // --- inbound -----------------------------------------------------------
@@ -976,6 +1173,7 @@ impl Inner {
             let src = pkt.src;
             self.send_ipv4(src, protocol::ICMP, &reply);
         } else if let Some(pending) = self.pings.remove(&echo.seq) {
+            self.wheel.cancel(pending.timer);
             let now = self.rt.now();
             let _ = pending
                 .reply
@@ -1032,8 +1230,8 @@ impl Inner {
         }
         let quad = (src, seg.src_port, seg.dst_port);
         let now = self.rt.now();
-        let id = match self.quads.get(&quad) {
-            Some(id) => *id,
+        let id = match self.table.lookup_quad(&quad) {
+            Some(id) => id,
             None => {
                 // New connection: must be a SYN to a listener, or an ACK
                 // returning a SYN cookie we handed out statelessly.
@@ -1078,7 +1276,7 @@ impl Inner {
                         self.emit_tcp(seg.dst_port, (src, seg.src_port), &rst);
                         return;
                     }
-                    if self.half_open_count() >= self.cfg.listen_backlog {
+                    if self.half_open >= self.cfg.listen_backlog {
                         // Backlog full: answer statelessly. The ISN is a MAC
                         // over the quad; state is created only if a matching
                         // ACK ever returns.
@@ -1107,31 +1305,27 @@ impl Inner {
                         self.emit_tcp(seg.dst_port, (src, seg.src_port), &synack);
                         return;
                     }
-                    let id = self.next_conn;
-                    self.next_conn += 1;
                     self.iss = self.iss.wrapping_add(64_000);
-                    let conn = Connection::listen(self.cfg.tcp.clone(), self.iss);
+                    let conn = Connection::listen(Arc::clone(&self.tcp_cfg), self.iss);
                     let (etx, erx) = channel::channel();
-                    self.conns.insert(
-                        id,
-                        ConnEntry {
-                            conn,
-                            peer: (src, seg.src_port),
-                            local_port: seg.dst_port,
-                            events_tx: etx,
-                            events_rx: Some(erx),
-                            connect_reply: None,
-                            from_listener: Some(seg.dst_port),
-                            dead: false,
-                        },
-                    );
-                    self.quads.insert(quad, id);
-                    id
+                    self.table.insert(ConnEntry {
+                        conn,
+                        peer: (src, seg.src_port),
+                        local_port: seg.dst_port,
+                        events_tx: etx,
+                        events_rx: Some(erx),
+                        connect_reply: None,
+                        from_listener: Some(seg.dst_port),
+                        dead: false,
+                        timer: None,
+                        dirty: false,
+                        half_open_counted: false,
+                    })
                 }
             }
         };
         let output = {
-            let entry = self.conns.get_mut(&id).expect("exists");
+            let entry = self.table.get_mut(id).expect("exists");
             entry.conn.on_segment(&seg, now)
         };
         self.apply_output(id, output);
@@ -1154,24 +1348,21 @@ impl Inner {
         }
         let mss = usize::from(COOKIE_MSS_TABLE[(isn & 0x3) as usize]);
         let conn =
-            Connection::from_syn_cookie(self.cfg.tcp.clone(), isn, seg.seq, mss, seg.window);
-        let id = self.next_conn;
-        self.next_conn += 1;
+            Connection::from_syn_cookie(Arc::clone(&self.tcp_cfg), isn, seg.seq, mss, seg.window);
         let (etx, erx) = channel::channel();
-        self.conns.insert(
-            id,
-            ConnEntry {
-                conn,
-                peer: (src, seg.src_port),
-                local_port: seg.dst_port,
-                events_tx: etx,
-                events_rx: Some(erx),
-                connect_reply: None,
-                from_listener: Some(seg.dst_port),
-                dead: false,
-            },
-        );
-        self.quads.insert((src, seg.src_port, seg.dst_port), id);
+        let id = self.table.insert(ConnEntry {
+            conn,
+            peer: (src, seg.src_port),
+            local_port: seg.dst_port,
+            events_tx: etx,
+            events_rx: Some(erx),
+            connect_reply: None,
+            from_listener: Some(seg.dst_port),
+            dead: false,
+            timer: None,
+            dirty: false,
+            half_open_counted: false,
+        });
         self.stats.syn_cookies_accepted += 1;
         // Surface the accept before any payload the ACK may carry.
         self.apply_output(
@@ -1185,7 +1376,7 @@ impl Inner {
     }
 
     fn apply_output(&mut self, id: u64, output: tcp::Output) {
-        let Some(entry) = self.conns.get_mut(&id) else {
+        let Some(entry) = self.table.get_mut(id) else {
             return;
         };
         let peer = entry.peer;
@@ -1241,22 +1432,34 @@ impl Inner {
         for seg in output.segments {
             self.emit_tcp(local_port, peer, &seg);
         }
-        self.gc_conns();
-    }
-
-    fn gc_conns(&mut self) {
-        let dead: Vec<u64> = self
-            .conns
-            .iter()
-            .filter(|(_, e)| e.dead || e.conn.state() == tcp::State::Closed)
-            .map(|(id, _)| *id)
-            .collect();
-        for id in dead {
-            if let Some(e) = self.conns.remove(&id) {
-                self.quads.remove(&(e.peer.0, e.peer.1, e.local_port));
-            }
+        // Targeted teardown: only this connection can have changed state,
+        // so there is no table sweep — removal and the occupancy gauges
+        // are all O(1).
+        self.sync_half_open(id);
+        let gone = match self.table.get(id) {
+            Some(e) => e.dead || e.conn.state() == tcp::State::Closed,
+            None => return,
+        };
+        if gone {
+            self.remove_conn(id);
+        } else {
+            let want = self.table.get(id).and_then(|e| e.conn.next_deadline());
+            self.set_conn_timer(id, want);
         }
         self.note_occupancy();
+    }
+
+    fn remove_conn(&mut self, id: u64) {
+        if let Some(e) = self.table.remove(id) {
+            if let Some((_, tid)) = e.timer {
+                self.wheel.cancel(tid);
+            }
+            if e.half_open_counted {
+                self.half_open -= 1;
+            }
+            // A stale `dirty` id is skipped by `flush_tx` (ids are never
+            // reused), so no list surgery is needed here.
+        }
     }
 
     // --- commands ----------------------------------------------------------
@@ -1299,45 +1502,45 @@ impl Inner {
                 let local_port = self.next_port;
                 self.next_port = self.next_port.wrapping_add(1).max(49152);
                 self.iss = self.iss.wrapping_add(64_000);
-                let (conn, out) = Connection::connect(self.cfg.tcp.clone(), self.iss, now);
-                let id = self.next_conn;
-                self.next_conn += 1;
+                let (conn, out) = Connection::connect(Arc::clone(&self.tcp_cfg), self.iss, now);
                 let (etx, erx) = channel::channel();
-                self.conns.insert(
-                    id,
-                    ConnEntry {
-                        conn,
-                        peer: (dst, dst_port),
-                        local_port,
-                        events_tx: etx,
-                        events_rx: Some(erx),
-                        connect_reply: Some(reply),
-                        from_listener: None,
-                        dead: false,
-                    },
-                );
-                self.quads.insert((dst, dst_port, local_port), id);
+                let id = self.table.insert(ConnEntry {
+                    conn,
+                    peer: (dst, dst_port),
+                    local_port,
+                    events_tx: etx,
+                    events_rx: Some(erx),
+                    connect_reply: Some(reply),
+                    from_listener: None,
+                    dead: false,
+                    timer: None,
+                    dirty: false,
+                    half_open_counted: false,
+                });
                 self.apply_output(id, out);
             }
             Cmd::TcpSend { id, data } => {
                 // Buffer only; `flush_tx` coalesces every write queued this
                 // poll-loop iteration into MSS-sized segments.
-                if let Some(e) = self.conns.get_mut(&id) {
+                if let Some(e) = self.table.get_mut(id) {
                     if !e.dead {
                         e.conn.app_buffer(data);
-                        self.dirty.insert(id);
+                        if !e.dirty {
+                            e.dirty = true;
+                            self.dirty.push(id);
+                        }
                     }
                 }
             }
             Cmd::TcpClose { id } => {
-                let out = match self.conns.get_mut(&id) {
+                let out = match self.table.get_mut(id) {
                     Some(e) if !e.dead => e.conn.app_close(now),
                     _ => return,
                 };
                 self.apply_output(id, out);
             }
             Cmd::TcpStats { id, reply } => {
-                let r = match self.conns.get(&id) {
+                let r = match self.table.get(id) {
                     Some(e) => Ok(e.conn.stats()),
                     None => Err(NetError::StackGone),
                 };
@@ -1357,13 +1560,16 @@ impl Inner {
                     payload: b"mirage-rs ping",
                 }
                 .build();
+                let timer = self
+                    .wheel
+                    .insert((now + PING_TIMEOUT).as_nanos(), WheelItem::Ping(seq));
                 self.pings.insert(
                     seq,
                     PendingPing {
                         reply,
                         sent_at: now,
-                        deadline: now + PING_TIMEOUT,
                         dst,
+                        timer,
                     },
                 );
                 self.send_ipv4(dst, protocol::ICMP, &echo);
@@ -1375,17 +1581,41 @@ impl Inner {
 
     fn on_timers(&mut self) {
         let now = self.rt.now();
-        // TCP.
-        let ids: Vec<u64> = self.conns.keys().copied().collect();
-        for id in ids {
-            let out = match self.conns.get_mut(&id) {
-                Some(e) => e.conn.poll(now),
-                None => continue,
-            };
-            if !out.segments.is_empty() || !out.events.is_empty() {
-                self.apply_output(id, out);
+        // TCP + ping deadlines: the wheel hands back only entries that are
+        // actually due, so a quiet tick over a million idle connections
+        // polls none of them.
+        let mut due = std::mem::take(&mut self.due_scratch);
+        due.clear();
+        self.wheel.advance(now.as_nanos(), |_, item| due.push(item));
+        for item in due.drain(..) {
+            match item {
+                WheelItem::Conn(id) => {
+                    let (out, next) = match self.table.get_mut(id) {
+                        Some(e) => {
+                            // The fired entry was this connection's armed
+                            // timer; forget it before re-arming.
+                            e.timer = None;
+                            self.stats.timer_polls += 1;
+                            e.conn.poll(now)
+                        }
+                        None => continue,
+                    };
+                    if !out.segments.is_empty() || !out.events.is_empty() {
+                        // Re-arms (or tears down) via apply_output.
+                        self.apply_output(id, out);
+                    } else {
+                        self.set_conn_timer(id, next);
+                    }
+                }
+                WheelItem::Ping(seq) => {
+                    if let Some(p) = self.pings.remove(&seq) {
+                        let _ = p.reply.send(Err(NetError::TimedOut));
+                        let _ = p.dst;
+                    }
+                }
             }
         }
+        self.due_scratch = due;
         // ARP retries.
         for ip in self.arp.poll(now) {
             self.send_arp_request(ip);
@@ -1394,19 +1624,6 @@ impl Inner {
         if let Some(client) = self.dhcp.as_mut() {
             if let Some(msg) = client.poll(now) {
                 self.broadcast_udp(68, 67, msg);
-            }
-        }
-        // Ping timeouts.
-        let expired: Vec<u16> = self
-            .pings
-            .iter()
-            .filter(|(_, p)| p.deadline <= now)
-            .map(|(s, _)| *s)
-            .collect();
-        for seq in expired {
-            if let Some(p) = self.pings.remove(&seq) {
-                let _ = p.reply.send(Err(NetError::TimedOut));
-                let _ = p.dst;
             }
         }
     }

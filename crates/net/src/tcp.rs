@@ -459,7 +459,10 @@ impl SendBuf {
 /// The TCP connection state machine.
 #[derive(Debug, Clone)]
 pub struct Connection {
-    cfg: TcpConfig,
+    /// Shared, immutable tuning: one allocation per stack, not per
+    /// connection — at a million idle connections the per-conn copy of
+    /// the config was the single largest avoidable line item.
+    cfg: std::sync::Arc<TcpConfig>,
     state: State,
     // Send side.
     iss: u32,
@@ -502,13 +505,17 @@ pub struct Connection {
 
 impl Connection {
     /// A passive-open connection awaiting a SYN.
-    pub fn listen(cfg: TcpConfig, iss: u32) -> Connection {
-        Connection::new(cfg, iss, State::Listen)
+    pub fn listen(cfg: impl Into<std::sync::Arc<TcpConfig>>, iss: u32) -> Connection {
+        Connection::new(cfg.into(), iss, State::Listen)
     }
 
     /// An active open: returns the connection and the initial SYN.
-    pub fn connect(cfg: TcpConfig, iss: u32, now: Time) -> (Connection, Output) {
-        let mut c = Connection::new(cfg, iss, State::SynSent);
+    pub fn connect(
+        cfg: impl Into<std::sync::Arc<TcpConfig>>,
+        iss: u32,
+        now: Time,
+    ) -> (Connection, Output) {
+        let mut c = Connection::new(cfg.into(), iss, State::SynSent);
         let syn = c.make_syn(false);
         c.syn_attempts = 1;
         c.arm_rtx(now);
@@ -527,13 +534,13 @@ impl Connection {
     /// original SYN are lost (the classic SYN-cookie trade-off): the MSS is
     /// whatever the cookie encoded and window scaling is disabled.
     pub fn from_syn_cookie(
-        cfg: TcpConfig,
+        cfg: impl Into<std::sync::Arc<TcpConfig>>,
         iss: u32,
         rcv_nxt: u32,
         peer_mss: usize,
         peer_window: u16,
     ) -> Connection {
-        let mut c = Connection::new(cfg, iss, State::Established);
+        let mut c = Connection::new(cfg.into(), iss, State::Established);
         c.snd_una = iss.wrapping_add(1);
         c.syn_unacked = false;
         c.rcv_nxt = rcv_nxt;
@@ -542,7 +549,7 @@ impl Connection {
         c
     }
 
-    fn new(cfg: TcpConfig, iss: u32, state: State) -> Connection {
+    fn new(cfg: std::sync::Arc<TcpConfig>, iss: u32, state: State) -> Connection {
         let rto = cfg.rto_init;
         let mss = cfg.mss;
         Connection {
@@ -807,8 +814,16 @@ impl Connection {
         }
     }
 
-    /// Handles a timer expiry.
-    pub fn poll(&mut self, now: Time) -> Output {
+    /// Handles a timer expiry. Returns the output plus the connection's
+    /// next timer deadline (`None` for a quiescent connection), so a
+    /// caller tracking many connections can re-arm a per-connection
+    /// timer wheel instead of re-scanning every connection each tick.
+    pub fn poll(&mut self, now: Time) -> (Output, Option<Time>) {
+        let out = self.poll_timers(now);
+        (out, self.next_deadline())
+    }
+
+    fn poll_timers(&mut self, now: Time) -> Output {
         let mut out = Output::default();
         if let Some(tw) = self.time_wait_until {
             if tw <= now {
@@ -1394,10 +1409,10 @@ mod tests {
                 match next {
                     Some(t) => {
                         *now = (*now).max(t);
-                        let oa = a.poll(*now);
+                        let (oa, _) = a.poll(*now);
                         a_out.extend(oa.segments);
                         ev_a.extend(oa.events);
-                        let ob = b.poll(*now);
+                        let (ob, _) = b.poll(*now);
                         b_out.extend(ob.segments);
                         ev_b.extend(ob.events);
                         if a_out.is_empty() && b_out.is_empty() {
@@ -1465,7 +1480,7 @@ mod tests {
         let probes = 8u64;
         for i in 0..probes {
             now = deadline;
-            let out = client.poll(now);
+            let (out, _) = client.poll(now);
             assert_eq!(out.segments.len(), 1, "probe {i}");
             assert_eq!(out.segments[0].payload.len(), 1, "one byte per probe");
             assert_eq!(client.stats().persist_probes, i + 1);
@@ -1617,7 +1632,7 @@ mod tests {
         // Client sits in TIME_WAIT until 2MSL expires.
         assert_eq!(client.state(), State::TimeWait);
         now += Dur::secs(3);
-        let out = client.poll(now);
+        let (out, _) = client.poll(now);
         assert!(out.events.contains(&Event::Closed));
         assert_eq!(client.state(), State::Closed);
     }
@@ -1679,7 +1694,7 @@ mod tests {
         for _ in 0..5 {
             let Some(d) = client.next_deadline() else { break };
             now = d;
-            let out = client.poll(now);
+            let (out, _) = client.poll(now);
             resets += out.events.iter().filter(|e| **e == Event::Reset).count();
         }
         assert_eq!(resets, 1, "gave up exactly once");
@@ -1700,7 +1715,7 @@ mod tests {
         let segs = client.app_send(&data2, now).segments;
         assert!(!segs.is_empty());
         let deadline = client.next_deadline().expect("rtx armed");
-        let out = client.poll(deadline);
+        let (out, _) = client.poll(deadline);
         assert!(!out.segments.is_empty(), "RTO retransmission");
         assert_eq!(client.cwnd(), client.effective_mss(), "cwnd collapsed to 1 MSS");
     }

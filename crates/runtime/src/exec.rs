@@ -11,13 +11,14 @@
 //! [`GcHeap`](mirage_pvboot::heap::GcHeap) model — this is how the Figure 7
 //! thread benchmarks account for garbage-collector pressure.
 
-use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::collections::{HashMap, VecDeque};
 use std::future::Future;
 use std::pin::Pin;
 use std::sync::Arc;
 use std::task::{Context, Poll, Waker};
 
 use mirage_testkit::sync::Mutex;
+use mirage_testkit::wheel::{TimerId, TimerWheel};
 
 use mirage_hypervisor::{Dur, Time};
 use mirage_pvboot::heap::GcHeap;
@@ -25,33 +26,6 @@ use mirage_pvboot::heap::GcHeap;
 pub(crate) type TaskId = u64;
 
 type BoxFuture = Pin<Box<dyn Future<Output = ()> + Send + 'static>>;
-
-struct TimerEntry {
-    at: Time,
-    seq: u64,
-    waker: Waker,
-}
-
-impl PartialEq for TimerEntry {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-impl Eq for TimerEntry {}
-impl PartialOrd for TimerEntry {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for TimerEntry {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        // Reversed: BinaryHeap is a max-heap, we want the earliest deadline.
-        other
-            .at
-            .cmp(&self.at)
-            .then_with(|| other.seq.cmp(&self.seq))
-    }
-}
 
 struct TaskEntry {
     fut: Option<BoxFuture>,
@@ -64,9 +38,12 @@ pub(crate) struct Core {
     pub(crate) charge: Dur,
     run_queue: VecDeque<TaskId>,
     tasks: HashMap<TaskId, TaskEntry>,
-    timers: BinaryHeap<TimerEntry>,
+    /// Pending sleeps, keyed by absolute deadline. The hashed wheel keeps
+    /// insert/cancel O(1) so a domain holding a million armed timeouts
+    /// pays only for the ones that actually expire (fires in the same
+    /// `(deadline, registration)` order the old binary heap popped).
+    timers: TimerWheel<Waker>,
     next_task: TaskId,
-    next_timer_seq: u64,
     pub(crate) spawned_total: u64,
     pub(crate) heap: Option<GcHeap>,
 }
@@ -78,9 +55,8 @@ impl Core {
             charge: Dur::ZERO,
             run_queue: VecDeque::new(),
             tasks: HashMap::new(),
-            timers: BinaryHeap::new(),
+            timers: TimerWheel::new(),
             next_task: 0,
-            next_timer_seq: 0,
             spawned_total: 0,
             heap: None,
         }
@@ -142,11 +118,30 @@ impl CoreHandle {
         id
     }
 
-    pub(crate) fn register_timer(&self, at: Time, waker: Waker) {
+    /// Arms a timer; the returned id lets the sleep future refresh its
+    /// waker on re-poll and disarm itself on drop.
+    pub(crate) fn register_timer(&self, at: Time, waker: Waker) -> TimerId {
+        self.0.lock().timers.insert(at.as_nanos(), waker)
+    }
+
+    /// Refreshes the waker of a pending timer. Returns `false` if the
+    /// timer already fired (the caller should re-register).
+    pub(crate) fn update_timer(&self, id: TimerId, waker: &Waker) -> bool {
         let mut core = self.0.lock();
-        let seq = core.next_timer_seq;
-        core.next_timer_seq += 1;
-        core.timers.push(TimerEntry { at, seq, waker });
+        match core.timers.get_mut(id) {
+            Some(slot) => {
+                if !slot.will_wake(waker) {
+                    *slot = waker.clone();
+                }
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Disarms a timer whose sleep future was dropped or completed.
+    pub(crate) fn cancel_timer(&self, id: TimerId) {
+        self.0.lock().timers.cancel(id);
     }
 
     pub(crate) fn now(&self) -> Time {
@@ -170,18 +165,12 @@ impl CoreHandle {
         let mut fired = Vec::new();
         {
             let mut core = self.0.lock();
-            while core
-                .timers
-                .peek()
-                .map(|t| t.at <= now)
-                .unwrap_or(false)
-            {
-                fired.push(core.timers.pop().expect("peeked"));
-            }
+            core.timers.advance(now.as_nanos(), |_, waker| fired.push(waker));
         }
+        // Wake outside the lock: TaskWaker::wake re-locks the core.
         let any = !fired.is_empty();
-        for t in fired {
-            t.waker.wake();
+        for waker in fired {
+            waker.wake();
         }
         any
     }
@@ -255,9 +244,9 @@ impl CoreHandle {
             }
         }
         let _ = start;
-        let core = self.0.lock();
+        let mut core = self.0.lock();
         StallReport {
-            next_deadline: core.timers.peek().map(|t| t.at),
+            next_deadline: core.timers.next_deadline().map(Time::from_nanos),
             live_tasks: core.tasks.len(),
             polls,
         }

@@ -149,6 +149,7 @@ impl Runtime {
         Sleep {
             deadline: t,
             core: SleepCore(self.core.clone()),
+            id: None,
         }
     }
 

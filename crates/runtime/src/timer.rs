@@ -1,15 +1,19 @@
 //! Virtual-time sleep futures.
 //!
 //! "Thread scheduling is platform-independent with timers stored in a
-//! heap-allocated OCaml priority queue" (paper §3.3). Here, the priority
-//! queue lives in the executor core and [`Sleep`] futures register their
-//! wakers against it.
+//! heap-allocated OCaml priority queue" (paper §3.3). Here, the timer
+//! store lives in the executor core — a hashed timer wheel rather than a
+//! priority queue, so a million armed sleeps cost nothing per tick — and
+//! [`Sleep`] futures register their wakers against it. Each sleep owns at
+//! most one wheel entry: re-polls refresh the stored waker in place and
+//! dropping the future (e.g. the losing arm of a select) disarms it.
 
 use std::future::Future;
 use std::pin::Pin;
 use std::task::{Context, Poll};
 
 use mirage_hypervisor::Time;
+use mirage_testkit::wheel::TimerId;
 
 use crate::exec::CoreHandle;
 
@@ -19,6 +23,7 @@ use crate::exec::CoreHandle;
 pub struct Sleep {
     pub(crate) deadline: Time,
     pub(crate) core: SleepCore,
+    pub(crate) id: Option<TimerId>,
 }
 
 pub(crate) struct SleepCore(pub(crate) CoreHandle);
@@ -32,17 +37,36 @@ impl std::fmt::Debug for SleepCore {
 impl Future for Sleep {
     type Output = ();
 
-    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
         if self.deadline == Time::MAX {
             // "Never": park without registering a timer, so the domain can
             // still block purely on events.
             return Poll::Pending;
         }
         if self.core.0.now() >= self.deadline {
+            if let Some(id) = self.id.take() {
+                self.core.0.cancel_timer(id);
+            }
             Poll::Ready(())
         } else {
-            self.core.0.register_timer(self.deadline, cx.waker().clone());
+            match self.id {
+                Some(id) if self.core.0.update_timer(id, cx.waker()) => {}
+                _ => {
+                    let id = self.core.0.register_timer(self.deadline, cx.waker().clone());
+                    self.id = Some(id);
+                }
+            }
             Poll::Pending
+        }
+    }
+}
+
+impl Drop for Sleep {
+    fn drop(&mut self) {
+        // Disarm: the losing arm of a select would otherwise leave a stale
+        // entry in the wheel until its deadline cycled around.
+        if let Some(id) = self.id.take() {
+            self.core.0.cancel_timer(id);
         }
     }
 }

@@ -34,6 +34,7 @@ pub mod hash;
 pub mod prop;
 pub mod rng;
 pub mod sync;
+pub mod wheel;
 
 /// The seed used when `MIRAGE_TEST_SEED` is not set. Spells "MIRAGE13"
 /// in ASCII — fixed so that default runs are themselves reproducible.

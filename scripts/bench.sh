@@ -4,6 +4,11 @@
 # headline numbers into BENCH_net.json at the repo root.
 #
 #   scripts/bench.sh            # run benches, write BENCH_net.json
+#   scripts/bench.sh --scale    # run the C1M scenario (examples/c1m) at
+#                               # full scale and write BENCH_scale.json,
+#                               # gating >=1M held connections and a
+#                               # roughly flat (<=2x) quiet-tick cost
+#                               # from 10k to 1M
 #
 # The micro_zerocopy bench asserts the copy-count gate itself (at most one
 # software copy per delivered payload byte on the HTTP static-file path);
@@ -12,9 +17,93 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out=BENCH_net.json
 tmp="$(mktemp -d)"
 trap 'rm -rf "$tmp"' EXIT
+
+if [[ "${1:-}" == "--scale" ]]; then
+    out=BENCH_scale.json
+    echo "== bench: c1m (one million connections; this takes a few minutes)"
+    cargo build --release --offline --example c1m
+    ./target/release/examples/c1m > "$tmp/c1m.out" 2> "$tmp/c1m.err"
+    cat "$tmp/c1m.out" "$tmp/c1m.err"
+
+    python3 - "$tmp" "$out" <<'PY'
+import json, re, sys
+
+tmp, out = sys.argv[1], sys.argv[2]
+stdout = open(f"{tmp}/c1m.out").read()
+stderr = open(f"{tmp}/c1m.err").read()
+
+def need(pattern, blob, what):
+    m = re.search(pattern, blob)
+    if not m:
+        sys.exit(f"FAIL: could not parse {what} from c1m output")
+    return m
+
+held = need(r"connections held\s*:\s*(\d+) on the server \((\d+) client-side\)",
+            stdout, "connections held")
+hot = need(r"hot subset\s*:\s*(\d+) streaming every [^,]+, (\d+) responses",
+           stdout, "hot subset")
+lat = need(r"accept latency\s*:\s*p50 ([\d.]+) us, p99 ([\d.]+) us over (\d+) handshakes",
+           stdout, "accept latency")
+audit = need(r"idle conn audit\s*:\s*(\d+) bytes/conn", stdout, "idle conn audit")
+polls = need(r"timer polls / 8ms\s*:\s*(\d+) at (\d+) conns -> (\d+) at (\d+) conns",
+             stdout, "timer polls")
+tick = need(r"quiet tick\s*:\s*(\d+) ns/virtual-ms at (\d+) conns, (\d+) ns/virtual-ms at (\d+) conns \(x([\d.]+)\)",
+            stderr, "tick cost")
+storm = need(r"boot latency\s*:\s*p50 ([\d.]+) ms, p99 ([\d.]+) ms, max ([\d.]+) ms",
+             stdout, "boot latency")
+fleet = need(r"fleet\s*:\s*(\d+) sealed", stdout, "fleet size")
+ready = need(r"whole storm ready at:\s*([\d.]+) ms", stdout, "storm ready")
+rss = re.search(r"rss\s*:\s*(\d+) MiB total, (\d+) bytes/conn", stderr)
+
+result = {
+    "scenario": "c1m",
+    "connections_held": int(held.group(1)),
+    "connections_client_side": int(held.group(2)),
+    "hot_subset": {"conns": int(hot.group(1)), "responses": int(hot.group(2))},
+    "accept_latency_us": {"p50": float(lat.group(1)), "p99": float(lat.group(2)),
+                          "handshakes": int(lat.group(3))},
+    "bytes_per_idle_conn": {
+        "stack_tables_audited": int(audit.group(1)),
+        "rss_amortised": int(rss.group(2)) if rss else None,
+    },
+    "timer_polls_per_8ms": {
+        "mid": {"conns": int(polls.group(2)), "polls": int(polls.group(1))},
+        "full": {"conns": int(polls.group(4)), "polls": int(polls.group(3))},
+    },
+    "quiet_tick_ns_per_virtual_ms": {
+        "mid": {"conns": int(tick.group(2)), "wall_ns": int(tick.group(1))},
+        "full": {"conns": int(tick.group(4)), "wall_ns": int(tick.group(3))},
+        "ratio": float(tick.group(5)),
+    },
+    "boot_storm": {
+        "fleet": int(fleet.group(1)),
+        "boot_ms": {"p50": float(storm.group(1)), "p99": float(storm.group(2)),
+                    "max": float(storm.group(3))},
+        "storm_ready_ms": float(ready.group(1)),
+    },
+}
+
+# Gates: the appliance must actually hold a million concurrent
+# connections, and the quiet-tick cost must stay roughly flat (O(due
+# work), not O(connections)) across two orders of magnitude.
+if result["connections_held"] < 1_000_000:
+    sys.exit(f"FAIL: only {result['connections_held']} connections held (< 1,000,000)")
+if result["quiet_tick_ns_per_virtual_ms"]["ratio"] > 2.0:
+    sys.exit("FAIL: quiet-tick cost grew x%.2f from 10k to 1M connections (> 2.0)"
+             % result["quiet_tick_ns_per_virtual_ms"]["ratio"])
+
+with open(out, "w") as f:
+    json.dump(result, f, indent=2)
+    f.write("\n")
+print(f"wrote {out}")
+PY
+    echo "== bench: done"
+    exit 0
+fi
+
+out=BENCH_net.json
 
 run_bench() {
     local name="$1"

@@ -14,6 +14,12 @@
 #                                    # attack suite under ten fixed
 #                                    # seeds, plus a same-seed double
 #                                    # run diffed
+#   scripts/verify.sh --scale        # additionally run the C1M scale
+#                                    # checks: a reduced (100k) c1m run
+#                                    # twice with diffed stdout, the
+#                                    # scale test suite at 100k in
+#                                    # release, and the full 1M bench
+#                                    # emitting a gated BENCH_scale.json
 #
 # Flags combine: `verify.sh --chaos --adversarial` runs both extras.
 #
@@ -107,6 +113,20 @@ if want --adversarial "$@"; then
     MIRAGE_TEST_SEED="$seed" cargo test -q --offline --test adversarial 2>&1 | norm > /tmp/mirage-adversarial-run2
     diff /tmp/mirage-adversarial-run1 /tmp/mirage-adversarial-run2
     echo "   ok (seed $seed)"
+fi
+
+if want --scale "$@"; then
+    echo "== scale: reduced c1m double run must print identical stdout"
+    cargo build --release --offline --example c1m
+    scale_env=(MIRAGE_C1M_CONNS=100000 MIRAGE_C1M_HOT=512 MIRAGE_C1M_STORM=100)
+    env "${scale_env[@]}" ./target/release/examples/c1m 2> /dev/null > /tmp/mirage-scale-run1
+    env "${scale_env[@]}" ./target/release/examples/c1m 2> /dev/null > /tmp/mirage-scale-run2
+    diff /tmp/mirage-scale-run1 /tmp/mirage-scale-run2
+    echo "   ok (100k connections, byte-identical)"
+    echo "== scale: idle-poll regression at 100k (release)"
+    MIRAGE_SCALE_CONNS=100000 cargo test -q --offline --release --test scale
+    echo "== scale: full C1M bench -> BENCH_scale.json (gated)"
+    scripts/bench.sh --scale
 fi
 
 if want --determinism "$@"; then
