@@ -593,3 +593,17 @@ mod tests {
         }
     }
 }
+
+#[cfg(test)]
+mod review_probe {
+    use super::*;
+    #[test]
+    fn overflow_entry_due_in_one_giant_jump() {
+        let mut w: TimerWheel<u32> = TimerWheel::with_shift(0);
+        w.insert(HORIZON_TICKS + 10, 1); // beyond horizon -> overflow list
+        let mut fired = Vec::new();
+        // One advance that jumps past the deadline by more than a full horizon.
+        w.advance(2 * HORIZON_TICKS + 20, |_, v| fired.push(v));
+        assert_eq!(fired, vec![1], "due overflow entry must fire in this advance");
+    }
+}
