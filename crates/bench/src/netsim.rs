@@ -53,13 +53,15 @@ pub fn iperf(
     // Bound each flow's advertised window so aggregate in-flight data
     // stays within the switch queueing budget (the paper's 64-slot rings
     // impose the same back-pressure).
-    let tcp_cfg = mirage_net::tcp::TcpConfig {
-        recv_buf: 64 * 1024,
-        ..mirage_net::tcp::TcpConfig::default()
-    };
-    let stack_cfg = |ip| StackConfig {
-        tcp: tcp_cfg.clone(),
-        ..StackConfig::static_ip(ip)
+    let tcp_cfg = mirage_net::tcp::TcpConfig::builder()
+        .recv_buf(64 * 1024)
+        .build()
+        .expect("valid tcp config");
+    let stack_cfg = |ip| {
+        StackConfig::builder(ip)
+            .tcp(tcp_cfg.clone())
+            .build()
+            .expect("valid stack config")
     };
     let rx_cfg = stack_cfg(RX_IP);
     let tx_cfg = stack_cfg(TX_IP);

@@ -11,7 +11,6 @@ use std::collections::HashMap;
 use std::net::Ipv4Addr;
 use std::sync::Arc;
 
-use mirage_testkit::hash::DetHashMap;
 use mirage_testkit::sync::Mutex;
 use mirage_testkit::wheel::{TimerId, TimerWheel};
 
@@ -29,6 +28,7 @@ use crate::dhcp;
 use crate::ethernet::{self, EtherType, Frame};
 use crate::icmp::Echo;
 use crate::ipv4::{self, protocol, Ipv4Packet};
+use crate::tcp::demux::{ConnTable, FlowKeyed};
 use crate::tcp::{self, Connection, Event, SegmentOut, TcpConfig, TcpSegment};
 use crate::udp::{self, UdpDatagram};
 
@@ -70,6 +70,63 @@ impl StackConfig {
             tcp: TcpConfig::default(),
             listen_backlog: 64,
         }
+    }
+
+    /// A validating builder seeded from [`StackConfig::static_ip`].
+    pub fn builder(ip: Ipv4Addr) -> StackConfigBuilder {
+        StackConfigBuilder {
+            cfg: StackConfig::static_ip(ip),
+        }
+    }
+
+    /// A validating builder seeded from [`StackConfig::dhcp`].
+    pub fn dhcp_builder() -> StackConfigBuilder {
+        StackConfigBuilder {
+            cfg: StackConfig::dhcp(),
+        }
+    }
+}
+
+/// Builder for [`StackConfig`]: chainable setters, invariants checked once
+/// at [`build`](StackConfigBuilder::build). TCP invariants are delegated to
+/// [`TcpConfigBuilder`](crate::tcp::TcpConfigBuilder) — pass its output via
+/// [`tcp`](StackConfigBuilder::tcp).
+#[derive(Debug, Clone)]
+pub struct StackConfigBuilder {
+    cfg: StackConfig,
+}
+
+impl StackConfigBuilder {
+    /// Subnet mask.
+    pub fn netmask(mut self, mask: Ipv4Addr) -> Self {
+        self.cfg.netmask = mask;
+        self
+    }
+
+    /// Default gateway.
+    pub fn gateway(mut self, gw: Ipv4Addr) -> Self {
+        self.cfg.gateway = Some(gw);
+        self
+    }
+
+    /// TCP tuning (build it with [`TcpConfig::builder`]).
+    pub fn tcp(mut self, tcp: TcpConfig) -> Self {
+        self.cfg.tcp = tcp;
+        self
+    }
+
+    /// Cap on half-open listener-spawned connections (must be non-zero).
+    pub fn listen_backlog(mut self, n: usize) -> Self {
+        self.cfg.listen_backlog = n;
+        self
+    }
+
+    /// Validates and produces the config.
+    pub fn build(self) -> Result<StackConfig, tcp::ConfigError> {
+        if self.cfg.listen_backlog == 0 {
+            return Err(tcp::ConfigError::ZeroBacklog);
+        }
+        Ok(self.cfg)
     }
 }
 
@@ -390,112 +447,11 @@ struct ConnEntry {
     half_open_counted: bool,
 }
 
-/// Shard count for the connection table: a power of two so the low bits
-/// of a connection id name its shard. 64 shards keeps each sub-table at
-/// ~16k entries even at a million connections, and is the seam the SMP
-/// work will later pin per-vCPU.
-const SHARD_BITS: u32 = 6;
-const SHARDS: usize = 1 << SHARD_BITS;
-
-/// The symmetric RSS hash key (Microsoft's canonical 40-byte Toeplitz key
-/// truncated to the 12 bytes a v4 3-tuple consumes, plus slack). Fixed,
-/// like real NICs configure it once at init — determinism comes free.
-const RSS_KEY: [u8; 16] = [
-    0x6d, 0x5a, 0x56, 0xda, 0x25, 0x5b, 0x0e, 0xc2, 0x41, 0x67, 0x25, 0x3d, 0x43, 0xa3, 0x8f,
-    0xb0,
-];
-
-/// RSS-style Toeplitz hash over the flow tuple (peer ip, peer port, local
-/// port — the local ip is fixed per interface). Bit `i` of the input
-/// XORs a 32-bit window of the key into the hash, exactly the scheme NIC
-/// receive-side scaling uses to spread flows across queues.
-fn flow_hash(peer: Ipv4Addr, peer_port: u16, local_port: u16) -> u32 {
-    let mut input = [0u8; 8];
-    input[..4].copy_from_slice(&peer.octets());
-    input[4..6].copy_from_slice(&peer_port.to_be_bytes());
-    input[6..8].copy_from_slice(&local_port.to_be_bytes());
-    let mut hash = 0u32;
-    let mut window = u32::from_be_bytes(RSS_KEY[..4].try_into().expect("4 bytes"));
-    for (i, byte) in input.into_iter().enumerate() {
-        for bit in 0..8u32 {
-            if byte & (0x80 >> bit) != 0 {
-                hash ^= window;
-            }
-            let next_bit = RSS_KEY[i + 4] & (0x80 >> bit) != 0;
-            window = (window << 1) | u32::from(next_bit);
-        }
-    }
-    hash
-}
-
-#[derive(Default)]
-struct Shard {
-    conns: DetHashMap<u64, Box<ConnEntry>>,
-    quads: DetHashMap<(Ipv4Addr, u16, u16), u64>,
-}
-
-/// The sharded connection table. A connection id is
-/// `(sequence << SHARD_BITS) | shard`, so id→shard is a mask and the
-/// 4-tuple→shard mapping is the RSS flow hash — every lookup touches
-/// exactly one sub-table.
-struct ConnTable {
-    shards: Vec<Shard>,
-    next_seq: u64,
-    len: usize,
-}
-
-impl ConnTable {
-    fn new() -> ConnTable {
-        ConnTable {
-            shards: (0..SHARDS).map(|_| Shard::default()).collect(),
-            next_seq: 1,
-            len: 0,
-        }
-    }
-
-    fn len(&self) -> usize {
-        self.len
-    }
-
-    fn shard_of(id: u64) -> usize {
-        (id & (SHARDS as u64 - 1)) as usize
-    }
-
-    fn insert(&mut self, entry: ConnEntry) -> u64 {
-        let quad = (entry.peer.0, entry.peer.1, entry.local_port);
-        let shard = (flow_hash(quad.0, quad.1, quad.2) & (SHARDS as u32 - 1)) as usize;
-        let id = (self.next_seq << SHARD_BITS) | shard as u64;
-        self.next_seq += 1;
-        let s = &mut self.shards[shard];
-        s.conns.insert(id, Box::new(entry));
-        s.quads.insert(quad, id);
-        self.len += 1;
-        id
-    }
-
-    fn lookup_quad(&self, quad: &(Ipv4Addr, u16, u16)) -> Option<u64> {
-        let shard = (flow_hash(quad.0, quad.1, quad.2) & (SHARDS as u32 - 1)) as usize;
-        self.shards[shard].quads.get(quad).copied()
-    }
-
-    fn get(&self, id: u64) -> Option<&ConnEntry> {
-        self.shards[Self::shard_of(id)].conns.get(&id).map(|b| &**b)
-    }
-
-    fn get_mut(&mut self, id: u64) -> Option<&mut ConnEntry> {
-        self.shards[Self::shard_of(id)]
-            .conns
-            .get_mut(&id)
-            .map(|b| &mut **b)
-    }
-
-    fn remove(&mut self, id: u64) -> Option<Box<ConnEntry>> {
-        let s = &mut self.shards[Self::shard_of(id)];
-        let entry = s.conns.remove(&id)?;
-        s.quads
-            .remove(&(entry.peer.0, entry.peer.1, entry.local_port));
-        self.len -= 1;
-        Some(entry)
+/// The flow key the sharded [`ConnTable`] (now owned by the TCP demux
+/// component, `tcp::demux`) indexes this entry under.
+impl FlowKeyed for ConnEntry {
+    fn quad(&self) -> (Ipv4Addr, u16, u16) {
+        (self.peer.0, self.peer.1, self.local_port)
     }
 }
 
@@ -671,7 +627,7 @@ struct Inner {
     netmask: Ipv4Addr,
     gateway: Option<Ipv4Addr>,
     arp: ArpCache,
-    table: ConnTable,
+    table: ConnTable<ConnEntry>,
     listeners: HashMap<u16, Sender<TcpStream>>,
     udp_socks: HashMap<u16, Sender<UdpDelivery>>,
     pings: HashMap<u16, PendingPing>,
@@ -1590,7 +1546,7 @@ impl Inner {
         for item in due.drain(..) {
             match item {
                 WheelItem::Conn(id) => {
-                    let (out, next) = match self.table.get_mut(id) {
+                    let outcome = match self.table.get_mut(id) {
                         Some(e) => {
                             // The fired entry was this connection's armed
                             // timer; forget it before re-arming.
@@ -1600,11 +1556,12 @@ impl Inner {
                         }
                         None => continue,
                     };
+                    let out = outcome.output;
                     if !out.segments.is_empty() || !out.events.is_empty() {
                         // Re-arms (or tears down) via apply_output.
                         self.apply_output(id, out);
                     } else {
-                        self.set_conn_timer(id, next);
+                        self.set_conn_timer(id, outcome.next_deadline);
                     }
                 }
                 WheelItem::Ping(seq) => {

@@ -287,7 +287,13 @@ impl<T> TimerWheel<T> {
         // Pull overflow entries inside the horizon back onto the wheel
         // (already-due ones fire directly — a top-level slot collision can
         // bounce a not-yet-due entry back into overflow, which is fine).
-        if self.overflow.live > 0 && (self.overflow_min >> self.shift).saturating_sub(self.cursor) < HORIZON_TICKS {
+        // The `overflow_min <= now` arm covers a single advance jumping
+        // more than a whole horizon past an overflow deadline: the entry
+        // is due even though it is still beyond the old cursor's horizon.
+        if self.overflow.live > 0
+            && (self.overflow_min <= now
+                || (self.overflow_min >> self.shift).saturating_sub(self.cursor) < HORIZON_TICKS)
+        {
             let items = std::mem::take(&mut self.overflow.items);
             self.overflow.live = 0;
             self.overflow_min = u64::MAX;

@@ -169,10 +169,12 @@ fn c1m(conns: usize, hot: usize, clients: usize) {
     let (netf, nh) = Netfront::new(xs.clone(), "c1m-srv", Mac::local(80).0, CopyDiscipline::ZeroCopy);
     let sh = Arc::clone(&shared);
     let mut server = UnikernelGuest::new(move |_env, rt: &Runtime| {
-        let mut cfg = StackConfig::static_ip(SERVER_IP);
         // Full batches from every client may be half-open at once; keep
         // the stateful path primary (cookies still cover real floods).
-        cfg.listen_backlog = 4096;
+        let cfg = StackConfig::builder(SERVER_IP)
+            .listen_backlog(4096)
+            .build()
+            .expect("valid stack config");
         let stack = Stack::spawn(rt, nh, cfg);
         let rt2 = rt.clone();
         rt.spawn(async move {

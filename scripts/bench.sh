@@ -9,6 +9,10 @@
 #                               # gating >=1M held connections and a
 #                               # roughly flat (<=2x) quiet-tick cost
 #                               # from 10k to 1M
+#   scripts/bench.sh --cc       # race NewReno vs CUBIC (examples/cc_race)
+#                               # over the loss x delay grid and write
+#                               # BENCH_cc.json, gating CUBIC >= NewReno
+#                               # goodput on the clean (zero-loss) cells
 #
 # The micro_zerocopy bench asserts the copy-count gate itself (at most one
 # software copy per delivered payload byte on the HTTP static-file path);
@@ -94,6 +98,75 @@ if result["quiet_tick_ns_per_virtual_ms"]["ratio"] > 2.0:
     sys.exit("FAIL: quiet-tick cost grew x%.2f from 10k to 1M connections (> 2.0)"
              % result["quiet_tick_ns_per_virtual_ms"]["ratio"])
 
+with open(out, "w") as f:
+    json.dump(result, f, indent=2)
+    f.write("\n")
+print(f"wrote {out}")
+PY
+    echo "== bench: done"
+    exit 0
+fi
+
+if [[ "${1:-}" == "--cc" ]]; then
+    out=BENCH_cc.json
+    echo "== bench: cc race (NewReno vs CUBIC over the loss x delay grid)"
+    cargo build --release --offline --example cc_race
+    ./target/release/examples/cc_race > "$tmp/cc.out"
+    cat "$tmp/cc.out"
+
+    python3 - "$tmp" "$out" <<'PY'
+import json, re, sys
+
+tmp, out = sys.argv[1], sys.argv[2]
+stdout = open(f"{tmp}/cc.out").read()
+
+seed = re.search(r"seed\s*:\s*(\d+)", stdout)
+bytes_ = re.search(r"transfer\s*:\s*(\d+) bytes", stdout)
+if not (seed and bytes_):
+    sys.exit("FAIL: could not parse cc_race header")
+
+cells = {}
+cell = None
+for line in stdout.splitlines():
+    m = re.match(r"cell (\S+)", line)
+    if m:
+        cell = m.group(1)
+        cells[cell] = {}
+        continue
+    m = re.match(
+        r"\s+(newreno|cubic)\s*: goodput ([\d.]+) Mb/s, elapsed ([\d.]+) s, "
+        r"retrans (\d+) \(fast (\d+), rto (\d+)\), cwnd\[ms:bytes\] (.*)",
+        line,
+    )
+    if m and cell:
+        cells[cell][m.group(1)] = {
+            "goodput_mbps": float(m.group(2)),
+            "elapsed_s": float(m.group(3)),
+            "retransmits": {"total": int(m.group(4)), "fast": int(m.group(5)),
+                            "rto": int(m.group(6))},
+            "cwnd_trajectory": [
+                {"ms": int(ms), "cwnd_bytes": int(cw)}
+                for ms, cw in (s.split(":") for s in m.group(7).split())
+            ],
+        }
+
+if len(cells) != 6 or any(set(v) != {"newreno", "cubic"} for v in cells.values()):
+    sys.exit(f"FAIL: expected 6 cells x 2 algorithms, parsed {cells.keys()}")
+
+# Gate: on the clean high-bandwidth-delay cells (zero loss), CUBIC must
+# do at least as well as NewReno — the algorithms should be
+# window-limited equals there, so any shortfall is a CUBIC bug.
+for cell, algs in cells.items():
+    if cell.startswith("loss0.0") and algs["cubic"]["goodput_mbps"] < algs["newreno"]["goodput_mbps"]:
+        sys.exit(f"FAIL: CUBIC below NewReno on clean cell {cell}: "
+                 f"{algs['cubic']['goodput_mbps']} < {algs['newreno']['goodput_mbps']} Mb/s")
+
+result = {
+    "scenario": "cc_race",
+    "seed": int(seed.group(1)),
+    "transfer_bytes": int(bytes_.group(1)),
+    "cells": cells,
+}
 with open(out, "w") as f:
     json.dump(result, f, indent=2)
     f.write("\n")

@@ -14,6 +14,12 @@
 #                                    # attack suite under ten fixed
 #                                    # seeds, plus a same-seed double
 #                                    # run diffed
+#   scripts/verify.sh --cc           # additionally race NewReno vs CUBIC
+#                                    # (examples/cc_race, reduced 1 MiB
+#                                    # transfers) under ten fixed seeds,
+#                                    # plus a same-seed double run diffed,
+#                                    # then the full-size gated
+#                                    # BENCH_cc.json via scripts/bench.sh
 #   scripts/verify.sh --scale        # additionally run the C1M scale
 #                                    # checks: a reduced (100k) c1m run
 #                                    # twice with diffed stdout, the
@@ -113,6 +119,26 @@ if want --adversarial "$@"; then
     MIRAGE_TEST_SEED="$seed" cargo test -q --offline --test adversarial 2>&1 | norm > /tmp/mirage-adversarial-run2
     diff /tmp/mirage-adversarial-run1 /tmp/mirage-adversarial-run2
     echo "   ok (seed $seed)"
+fi
+
+if want --cc "$@"; then
+    echo "== cc: congestion-control race under ten fixed seeds (1 MiB transfers)"
+    cargo build --release --offline --example cc_race
+    for seed in 1 2 3 5 8 13 42 97 1337 4242; do
+        echo "   -- seed $seed"
+        MIRAGE_CC_SEED="$seed" MIRAGE_CC_BYTES=1048576 \
+            ./target/release/examples/cc_race > /dev/null
+    done
+    echo "== cc: two same-seed runs must print identical stdout"
+    seed="${MIRAGE_CC_SEED:-42}"
+    MIRAGE_CC_SEED="$seed" MIRAGE_CC_BYTES=1048576 \
+        ./target/release/examples/cc_race > /tmp/mirage-cc-run1
+    MIRAGE_CC_SEED="$seed" MIRAGE_CC_BYTES=1048576 \
+        ./target/release/examples/cc_race > /tmp/mirage-cc-run2
+    diff /tmp/mirage-cc-run1 /tmp/mirage-cc-run2
+    echo "   ok (seed $seed, byte-identical)"
+    echo "== cc: full-size race -> BENCH_cc.json (gated)"
+    scripts/bench.sh --cc
 fi
 
 if want --scale "$@"; then

@@ -131,10 +131,10 @@ fn flood_rig() -> FloodRig {
     let (front_s, nh_s) =
         Netfront::new(xs.clone(), "web", Mac::local(80).0, CopyDiscipline::ZeroCopy);
     let mut server = UnikernelGuest::new(move |_env, rt| {
-        let cfg = StackConfig {
-            listen_backlog: BACKLOG,
-            ..StackConfig::static_ip(SERVER_IP)
-        };
+        let cfg = StackConfig::builder(SERVER_IP)
+            .listen_backlog(BACKLOG)
+            .build()
+            .expect("valid stack config");
         let stack = Stack::spawn(rt, nh_s, cfg);
         let sampler_stack = stack.clone();
         let rt_sample = rt.clone();
@@ -578,11 +578,11 @@ fn blind_rst_and_data_injection_need_exact_sequence_knowledge() {
 fn ooo_reassembly_buffer_is_bounded_and_recovers() {
     let _guard = adversarial_lock().lock();
     let seed = test_seed();
-    let cfg = TcpConfig {
-        ooo_max_segments: 8,
-        ooo_max_bytes: 4096,
-        ..TcpConfig::default()
-    };
+    let cfg = TcpConfig::builder()
+        .ooo_max_segments(8)
+        .ooo_max_bytes(4096)
+        .build()
+        .expect("valid tcp config");
     let (mut client, _server, now) = handshake(cfg);
     let stream = pattern(2048);
 

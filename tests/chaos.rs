@@ -80,19 +80,19 @@ fn run_lossy_tcp(seed: u64, cell: &'static str, cfg: NetemConfig, bytes: usize) 
     // queueing budget (as the bench harness does), and cap the RTO so a
     // 20%-loss cell backs off on a test-sized timescale instead of
     // production TCP's 60 s ceiling.
-    let tcp_cfg = tcp::TcpConfig {
-        recv_buf: 64 * 1024,
-        rto_max: Dur::secs(2),
-        ..tcp::TcpConfig::default()
-    };
-    let rx_cfg = StackConfig {
-        tcp: tcp_cfg.clone(),
-        ..StackConfig::static_ip(RX_IP)
-    };
-    let tx_cfg = StackConfig {
-        tcp: tcp_cfg,
-        ..StackConfig::static_ip(TX_IP)
-    };
+    let tcp_cfg = tcp::TcpConfig::builder()
+        .recv_buf(64 * 1024)
+        .rto_max(Dur::secs(2))
+        .build()
+        .expect("valid tcp config");
+    let rx_cfg = StackConfig::builder(RX_IP)
+        .tcp(tcp_cfg.clone())
+        .build()
+        .expect("valid stack config");
+    let tx_cfg = StackConfig::builder(TX_IP)
+        .tcp(tcp_cfg)
+        .build()
+        .expect("valid stack config");
 
     let payload = Arc::new(pattern(bytes));
 

@@ -47,8 +47,10 @@ fn idle_window_stats(n: usize) -> (StackStats, StackStats) {
     let parked_srv = Arc::clone(&parked);
     let window_srv = Arc::clone(&window);
     let mut server = UnikernelGuest::new(move |_env, rt: &Runtime| {
-        let mut cfg = StackConfig::static_ip(SERVER_IP);
-        cfg.listen_backlog = 4096;
+        let cfg = StackConfig::builder(SERVER_IP)
+            .listen_backlog(4096)
+            .build()
+            .expect("valid stack config");
         let stack = Stack::spawn(rt, nh, cfg);
         let rt2 = rt.clone();
         rt.spawn(async move {
