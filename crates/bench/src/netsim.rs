@@ -7,7 +7,7 @@ use mirage_devices::netfront::{CopyDiscipline, Netfront};
 use mirage_devices::{DriverDomain, NetProfile, Xenstore};
 use mirage_hypervisor::{Dur, Hypervisor, Time};
 use mirage_net::{Ipv4Addr, Mac, Stack, StackConfig};
-use mirage_runtime::UnikernelGuest;
+use mirage_runtime::{Runtime, UnikernelGuest};
 
 const TX_IP: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 1);
 const RX_IP: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 2);
@@ -151,6 +151,270 @@ pub fn iperf(
     }
 }
 
+/// Runs `flows` bulk flows between two `vcpus`-wide SMP unikernels: each
+/// side runs a [`Runtime::smp`] executor, a multi-queue netfront fanning
+/// RX frames out by RSS hash, and a [`Stack::spawn_sharded`] worker per
+/// vCPU owning a disjoint slice of the 64-way shard space. Flow tasks are
+/// pinned round-robin across cores, so the per-segment endpoint cost —
+/// the Figure 8 bottleneck — is charged on parallel vCPU lanes and the
+/// gang-placed step overlaps them on distinct pCPUs.
+pub fn iperf_smp(
+    tx: TcpEndpoint,
+    rx: TcpEndpoint,
+    vcpus: usize,
+    flows: usize,
+    bytes_per_flow: usize,
+) -> IperfResult {
+    assert!(vcpus > 0, "need at least one vCPU");
+    let costs = mirage_hypervisor::CostTable::defaults();
+    let shared = Dur::micros(5) + costs.copy(MSS / 8);
+    let tx_per_seg = shared + tx.profile(&costs).tx_per_segment;
+    let rx_per_seg = shared + rx.profile(&costs).rx_per_segment;
+
+    let xs = Xenstore::new();
+    // Enough pCPUs that no guest's vCPU gang ever waits on the host.
+    let mut hv = Hypervisor::with_pcpus(2 + 2 * vcpus);
+    // A 40 GbE fabric and a switch lane per port: the matrix measures CPU
+    // scaling, so neither line rate nor a single-core dom0 may be the
+    // bottleneck.
+    hv.create_domain_vcpus(
+        "dom0",
+        512,
+        Box::new(DriverDomain::with_profiles(
+            xs.clone(),
+            NetProfile::forty_gbe(),
+            mirage_devices::DiskProfile::pcie_ssd(),
+        )),
+        2,
+    );
+
+    let tcp_cfg = mirage_net::tcp::TcpConfig::builder()
+        .recv_buf(64 * 1024)
+        .build()
+        .expect("valid tcp config");
+    let stack_cfg = |ip| {
+        StackConfig::builder(ip)
+            .tcp(tcp_cfg.clone())
+            .build()
+            .expect("valid stack config")
+    };
+    let rx_cfg = stack_cfg(RX_IP);
+    let tx_cfg = stack_cfg(TX_IP);
+
+    // Receiver: one RX queue per vCPU, one shard worker per queue.
+    let (front_rx, handles_rx) = Netfront::new_multiqueue(
+        xs.clone(),
+        "rx",
+        Mac::local(2).0,
+        CopyDiscipline::ZeroCopy,
+        vcpus,
+    );
+    let total_expected = (flows * bytes_per_flow) as u64;
+    let mut rx_guest = UnikernelGuest::with_runtime(Runtime::smp(vcpus), move |_env, rt| {
+        let stack = Stack::spawn_sharded(rt, handles_rx, rx_cfg);
+        let rt2 = rt.clone();
+        rt.spawn(async move {
+            let mut listener = stack.tcp_listen(5001).await.unwrap();
+            let mut handles = Vec::new();
+            for f in 0..flows {
+                let mut stream = listener.accept().await.unwrap();
+                let rt3 = rt2.clone();
+                handles.push(rt2.spawn_on(f % vcpus, async move {
+                    let mut got = 0u64;
+                    while let Some(chunk) = stream.read().await {
+                        let segs = chunk.len().div_ceil(MSS) as u64;
+                        rt3.charge(Dur::nanos(rx_per_seg.as_nanos() * segs));
+                        got += chunk.len() as u64;
+                    }
+                    got
+                }));
+            }
+            let mut total = 0u64;
+            for h in handles {
+                total += h.await;
+            }
+            assert_eq!(total, total_expected, "all flow bytes delivered");
+            rt2.now().as_nanos() as i64
+        })
+    });
+    rx_guest.add_device(Box::new(front_rx));
+    let rx_dom = hv.create_domain_vcpus("iperf-smp-rx", 128, Box::new(rx_guest), vcpus);
+
+    // Sender, mirrored: sharded stack, flow tasks pinned round-robin.
+    let (front_tx, handles_tx) = Netfront::new_multiqueue(
+        xs.clone(),
+        "tx",
+        Mac::local(1).0,
+        CopyDiscipline::ZeroCopy,
+        vcpus,
+    );
+    let mut tx_guest = UnikernelGuest::with_runtime(Runtime::smp(vcpus), move |_env, rt| {
+        let stack = Stack::spawn_sharded(rt, handles_tx, tx_cfg);
+        let rt2 = rt.clone();
+        rt.spawn(async move {
+            rt2.sleep(Dur::millis(5)).await;
+            let mut handles = Vec::new();
+            for f in 0..flows {
+                let stack = stack.clone();
+                let rt3 = rt2.clone();
+                handles.push(rt2.spawn_on(f % vcpus, async move {
+                    let mut stream = stack.tcp_connect(RX_IP, 5001).await.expect("connect");
+                    let chunk = vec![(f % 251) as u8; 16 * 1024];
+                    let mut sent = 0usize;
+                    while sent < bytes_per_flow {
+                        let n = chunk.len().min(bytes_per_flow - sent);
+                        let segs = n.div_ceil(MSS) as u64;
+                        rt3.charge(Dur::nanos(tx_per_seg.as_nanos() * segs));
+                        stream.write(&chunk[..n]);
+                        sent += n;
+                        rt3.yield_now().await;
+                    }
+                    stream.close();
+                    stream.wait_closed().await;
+                }));
+            }
+            for h in handles {
+                h.await;
+            }
+            0i64
+        })
+    });
+    tx_guest.add_device(Box::new(front_tx));
+    hv.create_domain_vcpus("iperf-smp-tx", 128, Box::new(tx_guest), vcpus);
+
+    hv.set_step_budget(400_000_000);
+    hv.run_until(Time::ZERO + Dur::secs(600));
+    let finished_ns = hv.exit_code(rx_dom).expect("receiver finished") as u64;
+    let start = Time::ZERO + Dur::millis(5);
+    let elapsed = Time::from_nanos(finished_ns).saturating_since(start);
+    IperfResult {
+        mbps: total_expected as f64 * 8.0 / elapsed.as_secs_f64() / 1e6,
+        bytes: total_expected,
+    }
+}
+
+/// Per-core snapshot of an SMP server holding idle connections through a
+/// quiet window: how the connections spread over the shard workers, and
+/// how many wheel-driven `Connection::poll`s each core did while nothing
+/// was due (the C1M claim, split per core: an idle connection costs no
+/// core anything).
+#[derive(Debug, Clone)]
+pub struct IdleSmpReport {
+    /// Connection-table entries per shard worker at the end of the window.
+    pub conns_per_core: Vec<u64>,
+    /// Timer polls per shard worker during the quiet window.
+    pub quiet_polls_per_core: Vec<u64>,
+    /// Connections actually established.
+    pub established: u64,
+}
+
+/// Holds `conns` idle keep-alive connections against a `vcpus`-wide
+/// sharded server, then measures a `quiet` window in which no connection
+/// has any due work. Returns the per-core split.
+pub fn idle_smp(vcpus: usize, conns: usize, quiet: Dur) -> IdleSmpReport {
+    use std::sync::{Arc, Mutex};
+
+    assert!(vcpus > 0, "need at least one vCPU");
+    let xs = Xenstore::new();
+    let mut hv = Hypervisor::with_pcpus(2 + 2 * vcpus);
+    hv.create_domain_vcpus(
+        "dom0",
+        512,
+        Box::new(DriverDomain::with_profiles(
+            xs.clone(),
+            NetProfile::forty_gbe(),
+            mirage_devices::DiskProfile::pcie_ssd(),
+        )),
+        2,
+    );
+
+    let report: Arc<Mutex<Option<IdleSmpReport>>> = Arc::new(Mutex::new(None));
+
+    // Server: sharded stack, parks every accepted stream for the duration.
+    let (front_srv, handles_srv) = Netfront::new_multiqueue(
+        xs.clone(),
+        "idle-srv",
+        Mac::local(2).0,
+        CopyDiscipline::ZeroCopy,
+        vcpus,
+    );
+    let srv_cfg = StackConfig::builder(RX_IP).build().expect("valid config");
+    let report_w = Arc::clone(&report);
+    let mut srv_guest = UnikernelGuest::with_runtime(Runtime::smp(vcpus), move |_env, rt| {
+        let stack = Stack::spawn_sharded(rt, handles_srv, srv_cfg);
+        let rt2 = rt.clone();
+        rt.spawn(async move {
+            let mut listener = stack.tcp_listen(80).await.unwrap();
+            let mut parked = Vec::with_capacity(conns);
+            for _ in 0..conns {
+                parked.push(listener.accept().await.unwrap());
+            }
+            // Everything established and idle: measure the quiet window.
+            let before = stack.stack_stats_per_core().await.unwrap();
+            rt2.sleep(quiet).await;
+            let after = stack.stack_stats_per_core().await.unwrap();
+            *report_w.lock().unwrap() = Some(IdleSmpReport {
+                conns_per_core: after.iter().map(|s| s.conns).collect(),
+                quiet_polls_per_core: after
+                    .iter()
+                    .zip(&before)
+                    .map(|(a, b)| a.timer_polls - b.timer_polls)
+                    .collect(),
+                established: parked.len() as u64,
+            });
+            0i64
+        })
+    });
+    srv_guest.add_device(Box::new(front_srv));
+    let srv_dom = hv.create_domain_vcpus("idle-smp-srv", 256, Box::new(srv_guest), vcpus);
+
+    // Client: same width, each core ramps its share of the connections
+    // sequentially and parks them (keep-alive, no requests).
+    let (front_cli, handles_cli) = Netfront::new_multiqueue(
+        xs.clone(),
+        "idle-cli",
+        Mac::local(1).0,
+        CopyDiscipline::ZeroCopy,
+        vcpus,
+    );
+    let cli_cfg = StackConfig::builder(TX_IP).build().expect("valid config");
+    let mut cli_guest = UnikernelGuest::with_runtime(Runtime::smp(vcpus), move |_env, rt| {
+        let stack = Stack::spawn_sharded(rt, handles_cli, cli_cfg);
+        let rt2 = rt.clone();
+        rt.spawn(async move {
+            rt2.sleep(Dur::millis(5)).await;
+            let mut handles = Vec::new();
+            for core in 0..vcpus {
+                let share = conns / vcpus + usize::from(core < conns % vcpus);
+                let stack = stack.clone();
+                let rt3 = rt2.clone();
+                handles.push(rt2.spawn_on(core, async move {
+                    let mut parked = Vec::with_capacity(share);
+                    for _ in 0..share {
+                        parked.push(stack.tcp_connect(RX_IP, 80).await.expect("connect"));
+                    }
+                    // Hold the connections open past the server's quiet
+                    // window; dropping them would tear the table down.
+                    rt3.sleep(Dur::secs(3600)).await;
+                    parked.len()
+                }));
+            }
+            for h in handles {
+                h.await;
+            }
+            0i64
+        })
+    });
+    cli_guest.add_device(Box::new(front_cli));
+    hv.create_domain_vcpus("idle-smp-cli", 256, Box::new(cli_guest), vcpus);
+
+    hv.set_step_budget(400_000_000);
+    hv.run_until(Time::ZERO + Dur::secs(3000));
+    assert_eq!(hv.exit_code(srv_dom), Some(0), "server finished its window");
+    let out = report.lock().unwrap().take().expect("server wrote report");
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -160,6 +424,36 @@ mod tests {
         let r = iperf(TcpEndpoint::Linux, TcpEndpoint::Mirage, 1, 300_000);
         assert_eq!(r.bytes, 300_000);
         assert!(r.mbps > 50.0, "non-trivial goodput: {:.0} Mb/s", r.mbps);
+    }
+
+    #[test]
+    fn smp_iperf_delivers_and_beats_single_core() {
+        let one = iperf_smp(TcpEndpoint::Mirage, TcpEndpoint::Mirage, 1, 8, 100_000);
+        let four = iperf_smp(TcpEndpoint::Mirage, TcpEndpoint::Mirage, 4, 8, 100_000);
+        assert_eq!(one.bytes, 800_000);
+        assert_eq!(four.bytes, 800_000);
+        assert!(
+            four.mbps > one.mbps * 1.5,
+            "4 vCPUs should clearly beat 1: {:.0} vs {:.0} Mb/s",
+            four.mbps,
+            one.mbps
+        );
+    }
+
+    #[test]
+    fn idle_smp_quiet_tick_polls_nothing_on_any_core() {
+        let r = idle_smp(4, 256, Dur::millis(64));
+        assert_eq!(r.established, 256);
+        assert_eq!(r.conns_per_core.len(), 4);
+        assert_eq!(r.conns_per_core.iter().sum::<u64>(), 256);
+        // Idle connections arm no deadline: a quiet window drives zero
+        // wheel polls on every core, not just in aggregate.
+        for (core, polls) in r.quiet_polls_per_core.iter().enumerate() {
+            assert_eq!(*polls, 0, "core {core} polled {polls} idle conns");
+        }
+        // The shard space spreads the table: no core holds everything.
+        let max = r.conns_per_core.iter().max().unwrap();
+        assert!(*max < 256, "connections spread over cores: {:?}", r.conns_per_core);
     }
 
     #[test]

@@ -24,6 +24,7 @@ pub mod blk;
 pub mod netback;
 pub mod netem;
 pub mod netfront;
+pub mod rss;
 pub mod vchan;
 pub mod xenstore;
 

@@ -142,6 +142,12 @@ enum FrontState {
 /// The netfront device driver; plugs into a
 /// [`UnikernelGuest`](mirage_runtime::UnikernelGuest) as a
 /// [`DeviceService`].
+///
+/// A multi-queue instance ([`Netfront::new_multiqueue`]) keeps one ring
+/// pair and one event channel but fans received frames out to per-queue
+/// ingress channels by RSS flow hash ([`crate::rss`]), so each stack
+/// worker — and therefore each vCPU — sees only its own flows. Cross-core
+/// handoff moves `PktBuf` views (refcount bumps), never bytes.
 pub struct Netfront {
     xs: Xenstore,
     name: String,
@@ -159,10 +165,19 @@ pub struct Netfront {
     tx_inflight: HashMap<u32, (GrantRef, SharedPage)>,
     /// Posted receive buffers, keyed by gref.
     rx_bufs: HashMap<u32, SharedPage>,
-    from_stack: Receiver<PktBuf>,
-    to_stack: Sender<PktBuf>,
-    tx_backlog: VecDeque<PktBuf>,
+    /// Per-queue TX intake (stack workers -> driver), drained in fixed
+    /// queue order each service pass.
+    from_stack: Vec<Receiver<PktBuf>>,
+    /// Per-queue RX fan-out (driver -> stack workers), indexed by
+    /// [`crate::rss::rx_queue`] of the incoming frame.
+    to_stack: Vec<Sender<PktBuf>>,
+    /// Merged TX backlog; each frame remembers its source queue so its
+    /// serialise-into-I/O-page charge lands on the owning vCPU's lane.
+    tx_backlog: VecDeque<(usize, PktBuf)>,
     stats: Arc<Mutex<NetifStats>>,
+    /// vCPU this device's event channel is steered to
+    /// (`EVTCHNOP_bind_vcpu`); the run-loop charges service work there.
+    service_vcpu: usize,
 }
 
 impl Netfront {
@@ -175,9 +190,43 @@ impl Netfront {
         mac: [u8; 6],
         discipline: CopyDiscipline,
     ) -> (Netfront, NetHandle) {
-        let (tx_in, tx_out) = channel::channel();
-        let (rx_in, rx_out) = channel::channel();
+        let (front, mut handles) = Netfront::new_multiqueue(xs, name, mac, discipline, 1);
+        (front, handles.remove(0))
+    }
+
+    /// Creates a multi-queue driver: one stack-facing handle per RX/TX
+    /// queue. Received IPv4 TCP frames are classified by Toeplitz flow
+    /// hash into `shard % queues`; everything else rides queue 0. Pass
+    /// each handle to the stack worker that owns the matching shard
+    /// slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `queues` is zero.
+    pub fn new_multiqueue(
+        xs: Xenstore,
+        name: impl Into<String>,
+        mac: [u8; 6],
+        discipline: CopyDiscipline,
+        queues: usize,
+    ) -> (Netfront, Vec<NetHandle>) {
+        assert!(queues > 0, "a NIC needs at least one queue");
         let stats = Arc::new(Mutex::new(NetifStats::default()));
+        let mut from_stack = Vec::with_capacity(queues);
+        let mut to_stack = Vec::with_capacity(queues);
+        let mut handles = Vec::with_capacity(queues);
+        for _ in 0..queues {
+            let (tx_in, tx_out) = channel::channel();
+            let (rx_in, rx_out) = channel::channel();
+            from_stack.push(tx_out);
+            to_stack.push(rx_in);
+            handles.push(NetHandle {
+                mac,
+                tx: tx_in,
+                rx: rx_out,
+                stats: Arc::clone(&stats),
+            });
+        }
         let front = Netfront {
             xs,
             name: name.into(),
@@ -192,18 +241,19 @@ impl Netfront {
             tx_free: Vec::new(),
             tx_inflight: HashMap::new(),
             rx_bufs: HashMap::new(),
-            from_stack: tx_out,
-            to_stack: rx_in,
+            from_stack,
+            to_stack,
             tx_backlog: VecDeque::new(),
-            stats: Arc::clone(&stats),
-        };
-        let handle = NetHandle {
-            mac,
-            tx: tx_in,
-            rx: rx_out,
             stats,
+            service_vcpu: 0,
         };
-        (front, handle)
+        (front, handles)
+    }
+
+    /// Steers this device's event channel — and with it the run-loop's
+    /// service charging — to vCPU `v` once connected.
+    pub fn set_service_vcpu(&mut self, v: usize) {
+        self.service_vcpu = v;
     }
 
     fn base(&self) -> String {
@@ -275,6 +325,9 @@ impl Netfront {
             let gref = env.grant(backend, page.clone(), false);
             self.tx_free.push((gref, page));
         }
+        if self.service_vcpu != 0 {
+            let _ = env.evtchn_set_vcpu(local, self.service_vcpu);
+        }
         self.xs.write(env, &format!("{base}/state"), "connected");
         env.evtchn_notify(local).expect("bound");
         env.observe(&format!("net-connected:{}", self.name));
@@ -326,7 +379,13 @@ impl Netfront {
             }
         }
 
-        // Deliver received frames and repost buffers.
+        // Deliver received frames and repost buffers. The fan-out moves
+        // only an owned `PktBuf` (an `Arc` refcount once the stack slices
+        // it), never bytes, and each frame's RX cost is charged on the
+        // lane of the vCPU owning its queue — the per-core ingress-ring
+        // model: classification on the service lane, payload work on the
+        // owning core.
+        let entry_lane = env.current_vcpu();
         let mut notify_rx = false;
         if let Some(rx_ring) = self.rx_ring.as_mut() {
             while let Some(rsp) = rx_ring.take_response() {
@@ -339,13 +398,17 @@ impl Netfront {
                     // copy; from here the frame travels by reference.
                     let mut frame = vec![0u8; len as usize];
                     page.read(|b| frame.copy_from_slice(&b[..len as usize]));
+                    let frame = PktBuf::from_vec(frame);
+                    let q = crate::rss::rx_queue(&frame, self.to_stack.len());
+                    env.on_vcpu(q % env.vcpus());
                     Self::charge_rx(self.discipline, env, len as usize);
+                    env.on_vcpu(entry_lane);
                     {
                         let mut st = self.stats.lock();
                         st.rx_frames += 1;
                         st.rx_bytes += len as u64;
                     }
-                    let _ = self.to_stack.send(PktBuf::from_vec(frame));
+                    let _ = self.to_stack[q].send(frame);
                     // Repost the same buffer.
                     if let Ok(n) = rx_ring.push_request(&gref_only(gref)) {
                         notify_rx |= n;
@@ -355,16 +418,23 @@ impl Netfront {
             }
         }
 
-        // Transmit queued frames.
-        while let Some(frame) = self.from_stack.try_recv() {
-            self.tx_backlog.push_back(frame);
-            if self.tx_backlog.len() > TX_BACKLOG_CAP {
-                self.tx_backlog.pop_front();
-                self.stats.lock().tx_drops += 1;
+        // Transmit queued frames, draining the per-queue intakes in
+        // fixed order (queue id, then FIFO) for a deterministic merge.
+        // The cap scales with the queue count: each stack worker gets its
+        // own burst quota, so eight cores flushing at once don't tail-drop
+        // each other's segments.
+        let backlog_cap = TX_BACKLOG_CAP * self.from_stack.len();
+        for (q, intake) in self.from_stack.iter_mut().enumerate() {
+            while let Some(frame) = intake.try_recv() {
+                self.tx_backlog.push_back((q, frame));
+                if self.tx_backlog.len() > backlog_cap {
+                    self.tx_backlog.pop_front();
+                    self.stats.lock().tx_drops += 1;
+                }
             }
         }
         let mut notify_tx = false;
-        while let Some(frame) = self.tx_backlog.front() {
+        while let Some((_, frame)) = self.tx_backlog.front() {
             if frame.len() > MAX_FRAME {
                 self.tx_backlog.pop_front();
                 self.stats.lock().tx_drops += 1;
@@ -378,9 +448,12 @@ impl Netfront {
                 self.tx_free.push((gref, page));
                 break;
             }
-            let frame = self.tx_backlog.pop_front().expect("peeked");
+            let (src_q, frame) = self.tx_backlog.pop_front().expect("peeked");
             page.write(|b| b[..frame.len()].copy_from_slice(&frame));
+            // Serialisation into the I/O page is the sending core's work.
+            env.on_vcpu(src_q % env.vcpus());
             Self::charge_tx(self.discipline, env, frame.len());
+            env.on_vcpu(entry_lane);
             match tx_ring.push_request(&tx_req(gref.0, frame.len() as u16)) {
                 Ok(n) => {
                     notify_tx |= n;

@@ -59,6 +59,11 @@ enum ChannelState {
 struct PortEntry {
     state: ChannelState,
     pending: bool,
+    /// vCPU the owning domain wants this port's notifications steered to
+    /// (Xen's `EVTCHNOP_bind_vcpu`). Purely advisory routing state: the
+    /// guest reads it back to decide which per-core executor services the
+    /// port. Defaults to vCPU 0, like Xen.
+    vcpu: u32,
 }
 
 /// The system-wide event-channel table (one port space per domain).
@@ -97,6 +102,7 @@ impl EventSubsystem {
         table.push(PortEntry {
             state: ChannelState::Unbound { remote },
             pending: false,
+            vcpu: 0,
         });
         Port(table.len() as u32 - 1)
     }
@@ -128,6 +134,7 @@ impl EventSubsystem {
                 peer_port: remote_port,
             },
             pending: false,
+            vcpu: 0,
         });
         let local_port = Port(local_table.len() as u32 - 1);
         self.entry(remote_dom, remote_port)?.state = ChannelState::Bound {
@@ -196,6 +203,30 @@ impl EventSubsystem {
             }
         }
         Ok(())
+    }
+
+    /// Steers `(dom, port)` notifications to `vcpu`
+    /// (`EVTCHNOP_bind_vcpu`).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the port does not exist.
+    pub fn set_vcpu(&mut self, dom: DomainId, port: Port, vcpu: u32) -> Result<(), EventError> {
+        self.entry(dom, port)?.vcpu = vcpu;
+        Ok(())
+    }
+
+    /// The vCPU `(dom, port)` is steered to (0 unless rebound).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the port does not exist.
+    pub fn vcpu_of(&self, dom: DomainId, port: Port) -> Result<u32, EventError> {
+        self.ports
+            .get(dom.index())
+            .and_then(|t| t.get(port.0 as usize))
+            .map(|e| e.vcpu)
+            .ok_or(EventError::BadPort)
     }
 
     /// Total notifications delivered since boot (hypervisor stat).
@@ -272,6 +303,17 @@ mod tests {
             ev.notify(D1, p1).unwrap();
         }
         assert_eq!(ev.notification_count(), 5);
+    }
+
+    #[test]
+    fn vcpu_affinity_defaults_to_zero_and_sticks() {
+        let (mut ev, p1, p2) = bound_pair();
+        assert_eq!(ev.vcpu_of(D1, p1), Ok(0));
+        ev.set_vcpu(D1, p1, 3).unwrap();
+        assert_eq!(ev.vcpu_of(D1, p1), Ok(3));
+        // Affinity is per-endpoint: the peer keeps its own bit.
+        assert_eq!(ev.vcpu_of(D2, p2), Ok(0));
+        assert_eq!(ev.set_vcpu(D1, Port(99), 1), Err(EventError::BadPort));
     }
 
     #[test]

@@ -214,7 +214,12 @@ impl System {
 pub struct DomainEnv<'a> {
     dom: DomainId,
     start: Time,
-    consumed: Dur,
+    /// Per-vCPU charge lanes: every vCPU starts the step at `start` and
+    /// accrues its own CPU time, so an SMP guest's lanes advance in
+    /// parallel (the step ends at `start + max(consumed)`).
+    consumed: Vec<Dur>,
+    /// The lane [`DomainEnv::consume`] currently charges to.
+    cur: usize,
     sys: &'a mut System,
     wakes: Vec<(DomainId, Option<Port>, Time)>,
 }
@@ -225,15 +230,54 @@ impl<'a> DomainEnv<'a> {
         self.dom
     }
 
-    /// Current virtual time as the guest perceives it (step start plus CPU
-    /// time consumed so far).
+    /// Current virtual time as the guest perceives it on the current vCPU
+    /// (step start plus CPU time consumed on that lane so far).
     pub fn now(&self) -> Time {
-        self.start + self.consumed
+        self.start + self.consumed[self.cur]
     }
 
-    /// Charges `d` of CPU work to this domain.
+    /// Virtual time as seen from vCPU `v`'s lane.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is not a valid vCPU index for this domain.
+    pub fn now_on(&self, v: usize) -> Time {
+        self.start + self.consumed[v]
+    }
+
+    /// Number of vCPU charge lanes this domain runs with.
+    pub fn vcpus(&self) -> usize {
+        self.consumed.len()
+    }
+
+    /// The vCPU lane subsequent [`DomainEnv::consume`] calls charge to.
+    pub fn current_vcpu(&self) -> usize {
+        self.cur
+    }
+
+    /// Switches the charging lane to vCPU `v` (SMP guests route each
+    /// executor core's work to its own lane).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is not a valid vCPU index for this domain.
+    pub fn on_vcpu(&mut self, v: usize) {
+        assert!(v < self.consumed.len(), "vCPU {v} out of range");
+        self.cur = v;
+    }
+
+    /// Charges `d` of CPU work to this domain's current vCPU.
     pub fn consume(&mut self, d: Dur) {
-        self.consumed += d;
+        self.consumed[self.cur] += d;
+    }
+
+    /// Charges `d` of CPU work to vCPU `v` without switching lanes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is not a valid vCPU index for this domain.
+    pub fn consume_on(&mut self, v: usize, d: Dur) {
+        self.consumed[v] += d;
     }
 
     /// The substrate cost table (read-only; guests use it to price their
@@ -243,7 +287,7 @@ impl<'a> DomainEnv<'a> {
     }
 
     fn hypercall(&mut self) {
-        self.consumed += self.sys.costs.hypercall;
+        self.consumed[self.cur] += self.sys.costs.hypercall;
         self.sys.hypercalls += 1;
     }
 
@@ -289,7 +333,7 @@ impl<'a> DomainEnv<'a> {
     /// See [`EventSubsystem::notify`].
     pub fn evtchn_notify(&mut self, port: Port) -> Result<(), EventError> {
         self.hypercall();
-        self.consumed += self.sys.costs.event_notify;
+        self.consumed[self.cur] += self.sys.costs.event_notify;
         let (peer_dom, peer_port) = self.sys.events.notify(self.dom, port)?;
         let at = self.now();
         self.wakes.push((peer_dom, Some(peer_port), at));
@@ -317,6 +361,29 @@ impl<'a> DomainEnv<'a> {
         self.sys.events.close(self.dom, port)
     }
 
+    /// Steers a local port's notifications to vCPU `v` (Xen's
+    /// `EVTCHNOP_bind_vcpu`): the guest's per-core executors use the bit to
+    /// decide which core services the port.
+    ///
+    /// # Errors
+    ///
+    /// See [`EventSubsystem::set_vcpu`].
+    pub fn evtchn_set_vcpu(&mut self, port: Port, v: usize) -> Result<(), EventError> {
+        self.hypercall();
+        self.sys.events.set_vcpu(self.dom, port, v as u32)
+    }
+
+    /// The vCPU a local port is steered to (0 unless rebound).
+    ///
+    /// Reading the routing state needs no trap, so this is free.
+    ///
+    /// # Errors
+    ///
+    /// See [`EventSubsystem::vcpu_of`].
+    pub fn evtchn_vcpu(&self, port: Port) -> Result<usize, EventError> {
+        self.sys.events.vcpu_of(self.dom, port).map(|v| v as usize)
+    }
+
     /// Delivers a virtual interrupt: unconditionally wakes `dom` (used for
     /// xenstore watch events and other out-of-band signals).
     pub fn virq(&mut self, dom: DomainId) {
@@ -340,7 +407,7 @@ impl<'a> DomainEnv<'a> {
     /// See [`GrantTable::map`].
     pub fn grant_map(&mut self, gref: GrantRef, writable: bool) -> Result<SharedPage, GrantError> {
         self.hypercall();
-        self.consumed += self.sys.costs.grant_map;
+        self.consumed[self.cur] += self.sys.costs.grant_map;
         self.sys.grants.map(self.dom, gref, writable)
     }
 
@@ -367,9 +434,9 @@ impl<'a> DomainEnv<'a> {
         dst: &mut [u8],
     ) -> Result<(), GrantError> {
         self.hypercall();
-        self.consumed += self.sys.costs.grant_copy;
+        self.consumed[self.cur] += self.sys.costs.grant_copy;
         let copy_cost = self.sys.costs.copy(dst.len());
-        self.consumed += copy_cost;
+        self.consumed[self.cur] += copy_cost;
         self.sys.grants.copy_out(self.dom, gref, offset, dst)
     }
 
@@ -392,7 +459,7 @@ impl<'a> DomainEnv<'a> {
     /// See [`AddressSpace::map`].
     pub fn mmu_map(&mut self, m: Mapping) -> Result<(), MemError> {
         self.hypercall();
-        self.consumed += self.sys.costs.pte_update * m.pages;
+        self.consumed[self.cur] += self.sys.costs.pte_update * m.pages;
         self.sys.aspaces[self.dom.index()].map(m)
     }
 
@@ -464,6 +531,7 @@ struct Slot {
     state: SchedState,
     ready_at: Time,
     steps: u64,
+    vcpus: usize,
 }
 
 /// The hypervisor: owns the virtual clock, all domains and the shared
@@ -553,8 +621,8 @@ impl Hypervisor {
         self.create_domain_at(name, mem_mib, guest, at)
     }
 
-    /// Creates a domain that becomes runnable at `at` (the toolstack uses
-    /// this to model construction latency).
+    /// Creates a single-vCPU domain that becomes runnable at `at` (the
+    /// toolstack uses this to model construction latency).
     pub fn create_domain_at(
         &mut self,
         name: impl Into<String>,
@@ -562,6 +630,36 @@ impl Hypervisor {
         guest: Box<dyn Guest>,
         at: Time,
     ) -> DomainId {
+        self.create_domain_full(name, mem_mib, guest, at, 1)
+    }
+
+    /// Creates a multi-vCPU domain, runnable immediately: each guest step
+    /// charges work to per-vCPU lanes and the lanes overlap on distinct
+    /// physical CPUs (gang-scheduled within the step).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vcpus` is zero.
+    pub fn create_domain_vcpus(
+        &mut self,
+        name: impl Into<String>,
+        mem_mib: u64,
+        guest: Box<dyn Guest>,
+        vcpus: usize,
+    ) -> DomainId {
+        let at = self.sys.now;
+        self.create_domain_full(name, mem_mib, guest, at, vcpus)
+    }
+
+    fn create_domain_full(
+        &mut self,
+        name: impl Into<String>,
+        mem_mib: u64,
+        guest: Box<dyn Guest>,
+        at: Time,
+        vcpus: usize,
+    ) -> DomainId {
+        assert!(vcpus > 0, "a domain needs at least one vCPU");
         let dom = DomainId(self.slots.len() as u32);
         self.sys.add_domain(dom);
         self.slots.push(Slot {
@@ -571,8 +669,14 @@ impl Hypervisor {
             state: SchedState::Runnable(at),
             ready_at: at,
             steps: 0,
+            vcpus,
         });
         dom
+    }
+
+    /// Number of vCPUs `dom` was created with.
+    pub fn domain_vcpus(&self, dom: DomainId) -> usize {
+        self.slots[dom.index()].vcpus
     }
 
     /// Forces a blocked domain runnable (external interrupt injection for
@@ -712,22 +816,47 @@ impl Hypervisor {
             self.sys.now = self.sys.now.max(start);
 
             let dom = DomainId(idx as u32);
+            let vcpus = self.slots[idx].vcpus;
             let mut guest = self.slots[idx].guest.take().expect("guest present");
             let mut env = DomainEnv {
                 dom,
                 start,
-                consumed: Dur::ZERO,
+                consumed: vec![Dur::ZERO; vcpus],
+                cur: 0,
                 sys: &mut self.sys,
                 wakes: Vec::new(),
             };
             let step = guest.step(&mut env);
-            let consumed = env.consumed;
+            let consumed = std::mem::take(&mut env.consumed);
             let wakes = std::mem::take(&mut env.wakes);
             drop(env);
 
-            let end = start + consumed;
+            // Gang placement: lane 0 holds the pcpu the step was placed
+            // on; every further lane that did work occupies the next
+            // earliest-free pcpu for its own duration. With more busy
+            // lanes than pcpus the later lanes stack deterministically,
+            // so an over-committed host degrades instead of cheating.
+            let end = start + consumed.iter().copied().max().unwrap_or(Dur::ZERO);
             self.sys.now = self.sys.now.max(end);
-            self.pcpu_free[pcpu] = end;
+            self.pcpu_free[pcpu] = start + consumed[0].max(Dur::ZERO);
+            let mut used = vec![pcpu];
+            for (_lane, lane_consumed) in consumed.iter().enumerate().skip(1) {
+                if *lane_consumed == Dur::ZERO {
+                    continue;
+                }
+                let p = self
+                    .pcpu_free
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| !used.contains(i))
+                    .min_by_key(|(_, t)| **t)
+                    .map(|(i, _)| i)
+                    .unwrap_or(pcpu);
+                self.pcpu_free[p] = self.pcpu_free[p].max(start + *lane_consumed);
+                if used.len() < self.pcpu_free.len() {
+                    used.push(p);
+                }
+            }
             let slot = &mut self.slots[idx];
             slot.guest = Some(guest);
             slot.ready_at = end;
@@ -931,6 +1060,56 @@ mod tests {
         hv.set_step_budget(100);
         assert_eq!(hv.run(), RunOutcome::StepBudget);
         assert_eq!(hv.stats().steps, 100);
+    }
+
+    #[test]
+    fn vcpu_lanes_overlap_on_distinct_pcpus() {
+        // An SMP guest charging 5ms to each of 4 lanes finishes in 5ms on
+        // a 4-pcpu host, 10ms when squeezed onto 2 pcpus (lanes stack).
+        struct Smp;
+        impl Guest for Smp {
+            fn step(&mut self, env: &mut DomainEnv<'_>) -> Step {
+                assert_eq!(env.vcpus(), 4);
+                for v in 0..4 {
+                    env.consume_on(v, Dur::millis(5));
+                }
+                assert_eq!(env.now_on(3), Time::ZERO + Dur::millis(5));
+                Step::Exit(0)
+            }
+        }
+        let mut hv = Hypervisor::with_pcpus(4);
+        hv.create_domain_vcpus("smp", 64, Box::new(Smp), 4);
+        hv.run();
+        assert_eq!(hv.now(), Time::ZERO + Dur::millis(5), "lanes overlapped");
+
+        let mut hv2 = Hypervisor::with_pcpus(2);
+        let d = hv2.create_domain_vcpus("smp", 64, Box::new(Smp), 4);
+        assert_eq!(hv2.domain_vcpus(d), 4);
+        hv2.run();
+        // The slot itself still finishes at max-lane time; only *further*
+        // work contends with the stacked pcpus.
+        assert_eq!(hv2.now(), Time::ZERO + Dur::millis(5));
+    }
+
+    #[test]
+    fn current_vcpu_routes_consume() {
+        struct Router;
+        impl Guest for Router {
+            fn step(&mut self, env: &mut DomainEnv<'_>) -> Step {
+                assert_eq!(env.current_vcpu(), 0);
+                env.consume(Dur::millis(1));
+                env.on_vcpu(1);
+                assert_eq!(env.current_vcpu(), 1);
+                env.consume(Dur::millis(3));
+                assert_eq!(env.now(), Time::ZERO + Dur::millis(3));
+                assert_eq!(env.now_on(0), Time::ZERO + Dur::millis(1));
+                Step::Exit(0)
+            }
+        }
+        let mut hv = Hypervisor::with_pcpus(2);
+        hv.create_domain_vcpus("r", 16, Box::new(Router), 2);
+        hv.run();
+        assert_eq!(hv.now(), Time::ZERO + Dur::millis(3));
     }
 
     #[test]

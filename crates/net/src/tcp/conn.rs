@@ -280,9 +280,16 @@ impl ConnMgmt {
         self.rtx_deadline = None;
     }
 
-    /// Progress was made: floor the RTO and re-arm from `now`.
+    /// Progress was made: the backoff episode is over, so restore the
+    /// estimator-derived RTO (Karn keeps retransmitted segments out of the
+    /// estimator, so `srtt`/`rttvar` are untainted) and re-arm from `now`.
     pub fn rearm_rtx_after_progress(&mut self, now: Time, rto_min: Dur) {
-        self.rto = self.rto.max(rto_min);
+        if let Some(srtt) = self.srtt {
+            let rto = Dur::nanos(srtt.as_nanos() + (4 * self.rttvar.as_nanos()).max(1));
+            self.rto = rto.max(rto_min);
+        } else {
+            self.rto = self.rto.max(rto_min);
+        }
         self.arm_rtx(now);
     }
 

@@ -197,6 +197,69 @@ mod tests {
         assert_eq!(table.len(), 200);
     }
 
+    #[test]
+    fn seeded_corpus_spreads_within_quarter_of_uniform() {
+        // Satellite gate: a seeded corpus of 4-tuples must land within
+        // +/-25% of uniform across the 64 shards, and the derived
+        // flow hash -> shard -> vCPU assignment must be a pure function
+        // of the tuple (identical when recomputed).
+        use mirage_testkit::rng::Rng;
+        use mirage_testkit::test_seed;
+        const FLOWS: usize = SHARDS * 512; // 32768 tuples
+        let mut rng = Rng::for_stream(test_seed(), "rss-balance");
+        let mut counts = vec![0usize; SHARDS];
+        let mut tuples = Vec::with_capacity(FLOWS);
+        for _ in 0..FLOWS {
+            let ip = Ipv4Addr::from(rng.next_u32());
+            let peer_port = rng.next_u32() as u16;
+            let local_port = rng.next_u32() as u16;
+            tuples.push((ip, peer_port, local_port));
+            let shard = flow_hash(ip, peer_port, local_port) as usize & (SHARDS - 1);
+            counts[shard] += 1;
+        }
+        let uniform = FLOWS / SHARDS;
+        let (lo, hi) = (uniform * 3 / 4, uniform * 5 / 4);
+        for (shard, &n) in counts.iter().enumerate() {
+            assert!(
+                (lo..=hi).contains(&n),
+                "shard {shard} got {n} flows; uniform is {uniform} (allowed {lo}..={hi})"
+            );
+        }
+        // Stability: recomputing the whole chain gives the same shard and
+        // the same owning vCPU at every fold width.
+        for &(ip, pp, lp) in &tuples {
+            let shard = flow_hash(ip, pp, lp) as usize & (SHARDS - 1);
+            assert_eq!(shard, flow_hash(ip, pp, lp) as usize & (SHARDS - 1));
+            for vcpus in [1usize, 2, 4, 8] {
+                assert_eq!(shard % vcpus, (flow_hash(ip, pp, lp) as usize & (SHARDS - 1)) % vcpus);
+            }
+        }
+    }
+
+    #[test]
+    fn devices_rss_classifier_matches_stack_demux_hash() {
+        // The netfront RX classifier (mirage-devices, which mirage-net
+        // depends on and therefore cannot import from) duplicates this
+        // module's Toeplitz kernel. Pin the two together over a seeded
+        // corpus so they can never drift: a disagreement would steer a
+        // frame to a core that does not own its TCB.
+        use mirage_testkit::rng::Rng;
+        use mirage_testkit::test_seed;
+        assert_eq!(SHARDS, mirage_devices::rss::SHARDS as usize);
+        assert_eq!(SHARD_BITS, mirage_devices::rss::SHARD_BITS);
+        let mut rng = Rng::for_stream(test_seed(), "rss-equivalence");
+        for _ in 0..4096 {
+            let ip = Ipv4Addr::from(rng.next_u32());
+            let peer_port = rng.next_u32() as u16;
+            let local_port = rng.next_u32() as u16;
+            assert_eq!(
+                flow_hash(ip, peer_port, local_port),
+                mirage_devices::rss::toeplitz(ip.octets(), peer_port, local_port),
+                "hash kernels drifted for ({ip}, {peer_port}, {local_port})"
+            );
+        }
+    }
+
     mirage_testkit::property! {
         /// The sharded table behaves exactly like one flat map under any
         /// interleaving of inserts, removes and lookups.

@@ -427,6 +427,12 @@ impl Connection {
         self.cm.rto_backoff(self.cfg.rto_max);
         self.cc.on_rto_backoff();
         self.rod.reset_recovery();
+        if !matches!(self.cm.state(), State::SynSent | State::SynRcvd) {
+            // Everything in flight is suspect: open a go-back-N episode so
+            // each returning ACK retransmits the next hole immediately
+            // instead of waiting out another (doubled) RTO per segment.
+            self.rod.enter_rto_recovery();
+        }
         match self.cm.state() {
             State::SynSent | State::SynRcvd => {
                 if self.cm.bump_syn_attempt(self.cfg.syn_retries) {

@@ -334,6 +334,16 @@ impl Rod {
         self.dup_acks = 0;
     }
 
+    /// An RTO fired with data outstanding: open a go-back-N recovery
+    /// episode covering everything sent so far. Partial ACKs below
+    /// `recover` then retransmit the next hole ACK-clocked (one segment
+    /// per RTT) instead of waiting a full backed-off RTO per segment.
+    pub fn enter_rto_recovery(&mut self) {
+        self.in_recovery = true;
+        self.recover = self.snd_nxt;
+        self.dup_acks = 0;
+    }
+
     // --- receive side ------------------------------------------------------
 
     pub fn rcv_nxt(&self) -> u32 {

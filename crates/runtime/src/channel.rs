@@ -316,3 +316,71 @@ impl<T> Future for JoinHandle<T> {
         Poll::Pending
     }
 }
+
+// Cross-core wakeup contract: every channel endpoint must be `Send` (so a
+// task holding it can be work-stolen to another core) and `Sync` (so the
+// synchronous device-service path on one core can signal a task homed on
+// another). The shims are std::sync-backed, so these hold structurally —
+// the assertions pin that down at compile time.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Sender<u64>>();
+    assert_send_sync::<Receiver<u64>>();
+    assert_send_sync::<Notify>();
+    assert_send_sync::<Notified>();
+    assert_send_sync::<JoinHandle<u64>>();
+    assert_send_sync::<Closed>();
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Runtime, UnikernelGuest};
+    use mirage_hypervisor::Hypervisor;
+
+    #[test]
+    fn two_executor_ping_pong_crosses_cores() {
+        // A task pinned to core 0 and one pinned to core 1 volley a
+        // counter over two channels: every send is a cross-core wakeup.
+        let rt = Runtime::smp(2);
+        let guest = UnikernelGuest::with_runtime(rt, |_env, rt| {
+            let rt2 = rt.clone();
+            rt.spawn(async move {
+                let (tx_ping, mut rx_ping) = channel::<u32>();
+                let (tx_pong, mut rx_pong) = channel::<u32>();
+                let rt3 = rt2.clone();
+                let ponger = rt2.spawn_on(1, async move {
+                    let mut last = 0;
+                    while let Ok(v) = rx_ping.recv().await {
+                        assert_eq!(rt3.current_core(), 1, "ponger migrated");
+                        last = v;
+                        if tx_pong.send(v + 1).is_err() {
+                            break;
+                        }
+                    }
+                    last
+                });
+                let rt4 = rt2.clone();
+                let pinger = rt2.spawn_on(0, async move {
+                    let mut v = 0;
+                    for _ in 0..50 {
+                        assert_eq!(rt4.current_core(), 0, "pinger migrated");
+                        tx_ping.send(v).unwrap();
+                        v = rx_pong.recv().await.unwrap() + 1;
+                    }
+                    drop(tx_ping);
+                    v
+                });
+                let got = pinger.await;
+                let last_ping = ponger.await;
+                assert_eq!(got, 100, "50 round trips, +2 each");
+                assert_eq!(last_ping, 98);
+                0
+            })
+        });
+        let mut hv = Hypervisor::new();
+        let dom = hv.create_domain_vcpus("pingpong", 64, Box::new(guest), 2);
+        hv.run();
+        assert_eq!(hv.exit_code(dom), Some(0));
+    }
+}

@@ -1,15 +1,26 @@
-//! The cooperative task executor — Mirage's Lwt analogue (paper §3.3).
+//! The cooperative task executor — Mirage's Lwt analogue (paper §3.3),
+//! scaled out to per-vCPU cores.
 //!
 //! "Written in pure OCaml, Lwt threads are heap-allocated values, with only
 //! the thread main loop requiring a C binding to poll for external events."
 //! Here, lightweight threads are plain Rust `Future`s polled by a
-//! single-threaded executor; "the VM is thus either executing OCaml code or
+//! cooperative executor; "the VM is thus either executing OCaml code or
 //! blocked, with no internal preemption or asynchronous interrupts."
 //!
-//! Every poll charges [`CostTable::thread_switch`] to virtual time, and
-//! thread construction can optionally be charged against a
-//! [`GcHeap`](mirage_pvboot::heap::GcHeap) model — this is how the Figure 7
-//! thread benchmarks account for garbage-collector pressure.
+//! An SMP runtime holds one [`CoreState`] per vCPU — its own run queue,
+//! timer wheel and virtual clock — under a single scheduler lock (the
+//! simulation itself stays on one OS thread; parallelism is expressed in
+//! *virtual* time through the hypervisor's per-vCPU charge lanes). Tasks
+//! have a home core: charges, sleeps and child spawns from inside a task
+//! route to the core that is polling it. Non-pinned tasks migrate between
+//! cores through deterministic seeded work stealing, so an idle core picks
+//! up backlog while `MIRAGE_TEST_SEED` still reproduces the exact
+//! interleaving byte-for-byte.
+//!
+//! Every poll charges [`CostTable::thread_switch`] to the polling core's
+//! virtual time, and thread construction can optionally be charged against
+//! a [`GcHeap`](mirage_pvboot::heap::GcHeap) model — this is how the
+//! Figure 7 thread benchmarks account for garbage-collector pressure.
 
 use std::collections::{HashMap, VecDeque};
 use std::future::Future;
@@ -17,6 +28,7 @@ use std::pin::Pin;
 use std::sync::Arc;
 use std::task::{Context, Poll, Waker};
 
+use mirage_testkit::rng::Rng;
 use mirage_testkit::sync::Mutex;
 use mirage_testkit::wheel::{TimerId, TimerWheel};
 
@@ -30,56 +42,149 @@ type BoxFuture = Pin<Box<dyn Future<Output = ()> + Send + 'static>>;
 struct TaskEntry {
     fut: Option<BoxFuture>,
     queued: bool,
+    /// Core whose run queue wakes of this task land on. Stealing moves it.
+    home: usize,
+    /// Pinned tasks (shard owners, per-core service loops) never migrate.
+    pinned: bool,
 }
 
-pub(crate) struct Core {
-    pub(crate) now: Time,
+/// One vCPU's executor state: run queue, clock, pending charge, timers.
+struct CoreState {
+    now: Time,
     /// Virtual time charged by tasks since the driver last drained it.
-    pub(crate) charge: Dur,
+    charge: Dur,
     run_queue: VecDeque<TaskId>,
-    tasks: HashMap<TaskId, TaskEntry>,
     /// Pending sleeps, keyed by absolute deadline. The hashed wheel keeps
     /// insert/cancel O(1) so a domain holding a million armed timeouts
     /// pays only for the ones that actually expire (fires in the same
     /// `(deadline, registration)` order the old binary heap popped).
     timers: TimerWheel<Waker>,
-    next_task: TaskId,
-    pub(crate) spawned_total: u64,
-    pub(crate) heap: Option<GcHeap>,
 }
 
-impl Core {
-    fn new() -> Core {
-        Core {
+impl CoreState {
+    fn new() -> CoreState {
+        CoreState {
             now: Time::ZERO,
             charge: Dur::ZERO,
             run_queue: VecDeque::new(),
-            tasks: HashMap::new(),
             timers: TimerWheel::new(),
-            next_task: 0,
-            spawned_total: 0,
-            heap: None,
         }
     }
 }
 
-/// Shared handle to the executor core.
+pub(crate) struct Sched {
+    cores: Vec<CoreState>,
+    tasks: HashMap<TaskId, TaskEntry>,
+    next_task: TaskId,
+    pub(crate) spawned_total: u64,
+    pub(crate) heap: Option<GcHeap>,
+    /// Core currently polling a task — charges, `now()` reads and timer
+    /// registrations from inside the task route here (the task may hold a
+    /// handle homed elsewhere).
+    executing: Option<usize>,
+    /// Seeded schedule source: interleaving across non-empty cores and
+    /// steal-victim choice both draw from it, so a multi-core run is a
+    /// pure function of `MIRAGE_TEST_SEED`.
+    rng: Rng,
+    pub(crate) steals: u64,
+}
+
+impl Sched {
+    fn new(cores: usize) -> Sched {
+        assert!(cores > 0, "an executor needs at least one core");
+        Sched {
+            cores: (0..cores).map(|_| CoreState::new()).collect(),
+            tasks: HashMap::new(),
+            next_task: 0,
+            spawned_total: 0,
+            heap: None,
+            executing: None,
+            rng: Rng::for_stream(mirage_testkit::test_seed(), "smp-exec"),
+            steals: 0,
+        }
+    }
+
+    /// Deterministic work stealing: every idle core takes one non-pinned
+    /// task from the longest eligible queue (len >= 2, seeded tie-break),
+    /// migrating the task's home so subsequent wakes follow it.
+    fn steal_for_idle(&mut self) {
+        if self.cores.len() == 1 {
+            return;
+        }
+        for thief in 0..self.cores.len() {
+            if !self.cores[thief].run_queue.is_empty() {
+                continue;
+            }
+            let mut candidates: Vec<usize> = Vec::new();
+            let mut best_len = 0usize;
+            for (v, core) in self.cores.iter().enumerate() {
+                if v == thief {
+                    continue;
+                }
+                let unpinned = core
+                    .run_queue
+                    .iter()
+                    .filter(|id| !self.tasks[*id].pinned)
+                    .count();
+                if core.run_queue.len() >= 2 && unpinned > 0 {
+                    match core.run_queue.len().cmp(&best_len) {
+                        std::cmp::Ordering::Greater => {
+                            best_len = core.run_queue.len();
+                            candidates.clear();
+                            candidates.push(v);
+                        }
+                        std::cmp::Ordering::Equal => candidates.push(v),
+                        std::cmp::Ordering::Less => {}
+                    }
+                }
+            }
+            if candidates.is_empty() {
+                continue;
+            }
+            let victim = if candidates.len() == 1 {
+                candidates[0]
+            } else {
+                candidates[self.rng.gen_index(candidates.len())]
+            };
+            // Take the newest unpinned entry: older work stays with its
+            // owner (it is about to be polled there anyway).
+            let pos = self.cores[victim]
+                .run_queue
+                .iter()
+                .rposition(|id| !self.tasks[id].pinned);
+            if let Some(pos) = pos {
+                let id = self.cores[victim].run_queue.remove(pos).expect("position valid");
+                self.tasks.get_mut(&id).expect("stolen task exists").home = thief;
+                self.cores[thief].run_queue.push_back(id);
+                self.steals += 1;
+            }
+        }
+    }
+}
+
+/// Shared handle to the scheduler, annotated with a home core: spawns and
+/// charges made *outside* any task (device service code, harnesses) land
+/// on the home core.
 #[derive(Clone)]
-pub(crate) struct CoreHandle(pub(crate) Arc<Mutex<Core>>);
+pub(crate) struct CoreHandle {
+    pub(crate) sched: Arc<Mutex<Sched>>,
+    pub(crate) home: usize,
+}
 
 struct TaskWaker {
     id: TaskId,
-    core: std::sync::Weak<Mutex<Core>>,
+    sched: std::sync::Weak<Mutex<Sched>>,
 }
 
 impl std::task::Wake for TaskWaker {
     fn wake(self: Arc<Self>) {
-        if let Some(core) = self.core.upgrade() {
-            let mut core = core.lock();
-            if let Some(entry) = core.tasks.get_mut(&self.id) {
+        if let Some(sched) = self.sched.upgrade() {
+            let mut s = sched.lock();
+            if let Some(entry) = s.tasks.get_mut(&self.id) {
                 if !entry.queued {
                     entry.queued = true;
-                    core.run_queue.push_back(self.id);
+                    let home = entry.home;
+                    s.cores[home].run_queue.push_back(self.id);
                 }
             }
         }
@@ -89,46 +194,79 @@ impl std::task::Wake for TaskWaker {
 /// Report from one executor drain (the state `domainpoll` needs).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct StallReport {
-    /// Earliest pending timer, if any.
+    /// Earliest pending timer on any core, if any.
     pub next_deadline: Option<Time>,
     /// Tasks still alive (runnable or blocked).
     pub live_tasks: usize,
-    /// Futures polled during this drain.
+    /// Futures polled during this drain (all cores).
     pub polls: u64,
 }
 
 impl CoreHandle {
-    pub(crate) fn new() -> CoreHandle {
-        CoreHandle(Arc::new(Mutex::new(Core::new())))
+    pub(crate) fn new(cores: usize) -> CoreHandle {
+        CoreHandle {
+            sched: Arc::new(Mutex::new(Sched::new(cores))),
+            home: 0,
+        }
     }
 
-    pub(crate) fn spawn(&self, fut: BoxFuture) -> TaskId {
-        let mut core = self.0.lock();
-        let id = core.next_task;
-        core.next_task += 1;
-        core.spawned_total += 1;
-        core.tasks.insert(
+    /// The same scheduler, homed on core `v`.
+    pub(crate) fn on_core(&self, v: usize) -> CoreHandle {
+        assert!(v < self.cores(), "core {v} out of range");
+        CoreHandle {
+            sched: Arc::clone(&self.sched),
+            home: v,
+        }
+    }
+
+    pub(crate) fn cores(&self) -> usize {
+        self.sched.lock().cores.len()
+    }
+
+    /// The core a charge made right now would land on (the executing core
+    /// inside a task, this handle's home outside one).
+    pub(crate) fn current_core(&self) -> usize {
+        let s = self.sched.lock();
+        s.executing.unwrap_or(self.home)
+    }
+
+    /// Spawns a task. `pin: Some(v)` locks it to core `v` forever;
+    /// `None` homes it on the spawning context's core but leaves it
+    /// stealable.
+    pub(crate) fn spawn(&self, fut: BoxFuture, pin: Option<usize>) -> TaskId {
+        let mut s = self.sched.lock();
+        let home = pin.unwrap_or_else(|| s.executing.unwrap_or(self.home));
+        assert!(home < s.cores.len(), "core {home} out of range");
+        let id = s.next_task;
+        s.next_task += 1;
+        s.spawned_total += 1;
+        s.tasks.insert(
             id,
             TaskEntry {
                 fut: Some(fut),
                 queued: true,
+                home,
+                pinned: pin.is_some(),
             },
         );
-        core.run_queue.push_back(id);
+        s.cores[home].run_queue.push_back(id);
         id
     }
 
-    /// Arms a timer; the returned id lets the sleep future refresh its
-    /// waker on re-poll and disarm itself on drop.
-    pub(crate) fn register_timer(&self, at: Time, waker: Waker) -> TimerId {
-        self.0.lock().timers.insert(at.as_nanos(), waker)
+    /// Arms a timer on the current core's wheel; the returned pair lets
+    /// the sleep future refresh its waker on re-poll and disarm itself on
+    /// drop.
+    pub(crate) fn register_timer(&self, at: Time, waker: Waker) -> (usize, TimerId) {
+        let mut s = self.sched.lock();
+        let v = s.executing.unwrap_or(self.home);
+        (v, s.cores[v].timers.insert(at.as_nanos(), waker))
     }
 
     /// Refreshes the waker of a pending timer. Returns `false` if the
     /// timer already fired (the caller should re-register).
-    pub(crate) fn update_timer(&self, id: TimerId, waker: &Waker) -> bool {
-        let mut core = self.0.lock();
-        match core.timers.get_mut(id) {
+    pub(crate) fn update_timer(&self, id: (usize, TimerId), waker: &Waker) -> bool {
+        let mut s = self.sched.lock();
+        match s.cores[id.0].timers.get_mut(id.1) {
             Some(slot) => {
                 if !slot.will_wake(waker) {
                     *slot = waker.clone();
@@ -140,80 +278,105 @@ impl CoreHandle {
     }
 
     /// Disarms a timer whose sleep future was dropped or completed.
-    pub(crate) fn cancel_timer(&self, id: TimerId) {
-        self.0.lock().timers.cancel(id);
+    pub(crate) fn cancel_timer(&self, id: (usize, TimerId)) {
+        self.sched.lock().cores[id.0].timers.cancel(id.1);
     }
 
     pub(crate) fn now(&self) -> Time {
-        self.0.lock().now
+        let s = self.sched.lock();
+        s.cores[s.executing.unwrap_or(self.home)].now
     }
 
     pub(crate) fn charge(&self, d: Dur) {
-        self.0.lock().charge += d;
+        let mut s = self.sched.lock();
+        let v = s.executing.unwrap_or(self.home);
+        s.cores[v].charge += d;
     }
 
     /// Charges a heap allocation against the GC model, if one is attached.
     pub(crate) fn heap_alloc(&self, bytes: u64, long_lived: bool, costs: &mirage_hypervisor::CostTable) {
-        let mut core = self.0.lock();
-        if let Some(heap) = core.heap.as_mut() {
+        let mut s = self.sched.lock();
+        let v = s.executing.unwrap_or(self.home);
+        if let Some(heap) = s.heap.as_mut() {
             let cost = heap.alloc(bytes, long_lived, costs);
-            core.charge += cost;
+            s.cores[v].charge += cost;
         }
     }
 
-    fn fire_expired_timers(&self, now: Time) -> bool {
-        let mut fired = Vec::new();
-        {
-            let mut core = self.0.lock();
-            core.timers.advance(now.as_nanos(), |_, waker| fired.push(waker));
+    pub(crate) fn heap_release(&self, bytes: u64) {
+        let mut s = self.sched.lock();
+        if let Some(h) = s.heap.as_mut() {
+            h.release(bytes);
         }
-        // Wake outside the lock: TaskWaker::wake re-locks the core.
-        let any = !fired.is_empty();
-        for waker in fired {
-            waker.wake();
-        }
-        any
     }
 
-    /// Polls runnable tasks until none remain and no timer has expired.
+    /// Polls runnable tasks on every core until none remain and no timer
+    /// has expired.
     ///
-    /// `now_fn` reports virtual time as a function of the charge accumulated
-    /// so far, so CPU-bound work delays timer firing exactly as it would on
-    /// a single vCPU.
+    /// `drain_charge(core, charge)` reports a core's virtual time as a
+    /// function of the charge it accumulated, so CPU-bound work delays
+    /// that core's timers exactly as it would on real silicon — and only
+    /// that core's: the lanes advance independently. Which non-empty core
+    /// polls next is a seeded draw, giving SMP runs a reproducible but
+    /// adversarially shuffled interleaving.
     pub(crate) fn run_until_stalled(
         &self,
-        start: Time,
         thread_switch: Dur,
-        mut drain_charge: impl FnMut(Dur) -> Time,
+        mut drain_charge: impl FnMut(usize, Dur) -> Time,
     ) -> StallReport {
         let mut polls = 0u64;
+        let ncores = self.cores();
         loop {
-            // Advance the executor's notion of time, then fire timers.
-            let pending_charge = {
-                let mut core = self.0.lock();
-                std::mem::replace(&mut core.charge, Dur::ZERO)
-            };
-            let now = drain_charge(pending_charge);
-            {
-                self.0.lock().now = now;
+            // Advance every core's clock, then fire its expired timers.
+            let mut any_fired = false;
+            for v in 0..ncores {
+                let pending = {
+                    let mut s = self.sched.lock();
+                    std::mem::replace(&mut s.cores[v].charge, Dur::ZERO)
+                };
+                let now = drain_charge(v, pending);
+                let mut fired = Vec::new();
+                {
+                    let mut s = self.sched.lock();
+                    s.cores[v].now = now;
+                    s.cores[v].timers.advance(now.as_nanos(), |_, w| fired.push(w));
+                }
+                // Wake outside the lock: TaskWaker::wake re-locks.
+                any_fired |= !fired.is_empty();
+                for w in fired {
+                    w.wake();
+                }
             }
-            let fired = self.fire_expired_timers(now);
 
             let next = {
-                let mut core = self.0.lock();
-                core.run_queue.pop_front()
+                let mut s = self.sched.lock();
+                s.steal_for_idle();
+                let nonempty: Vec<usize> = (0..ncores)
+                    .filter(|&v| !s.cores[v].run_queue.is_empty())
+                    .collect();
+                match nonempty.len() {
+                    0 => None,
+                    1 => {
+                        let v = nonempty[0];
+                        Some((v, s.cores[v].run_queue.pop_front().expect("non-empty")))
+                    }
+                    n => {
+                        let v = nonempty[s.rng.gen_index(n)];
+                        Some((v, s.cores[v].run_queue.pop_front().expect("non-empty")))
+                    }
+                }
             };
-            let Some(id) = next else {
-                if fired {
+            let Some((core, id)) = next else {
+                if any_fired {
                     continue;
                 }
                 break;
             };
 
-            // Take the future out so polling happens without the core lock.
+            // Take the future out so polling happens without the lock.
             let fut = {
-                let mut core = self.0.lock();
-                match core.tasks.get_mut(&id) {
+                let mut s = self.sched.lock();
+                match s.tasks.get_mut(&id) {
                     Some(entry) => {
                         entry.queued = false;
                         entry.fut.take()
@@ -225,34 +388,44 @@ impl CoreHandle {
 
             let waker = Waker::from(Arc::new(TaskWaker {
                 id,
-                core: Arc::downgrade(&self.0),
+                sched: Arc::downgrade(&self.sched),
             }));
             let mut cx = Context::from_waker(&waker);
             polls += 1;
-            self.charge(thread_switch);
-            match fut.as_mut().poll(&mut cx) {
-                Poll::Ready(()) => {
-                    let mut core = self.0.lock();
-                    core.tasks.remove(&id);
-                }
-                Poll::Pending => {
-                    let mut core = self.0.lock();
-                    if let Some(entry) = core.tasks.get_mut(&id) {
-                        entry.fut = Some(fut);
+            {
+                let mut s = self.sched.lock();
+                s.executing = Some(core);
+                s.cores[core].charge += thread_switch;
+            }
+            let outcome = fut.as_mut().poll(&mut cx);
+            {
+                let mut s = self.sched.lock();
+                s.executing = None;
+                match outcome {
+                    Poll::Ready(()) => {
+                        s.tasks.remove(&id);
+                    }
+                    Poll::Pending => {
+                        if let Some(entry) = s.tasks.get_mut(&id) {
+                            entry.fut = Some(fut);
+                        }
                     }
                 }
             }
         }
-        let _ = start;
-        let mut core = self.0.lock();
+        let mut s = self.sched.lock();
+        let next_deadline = (0..ncores)
+            .filter_map(|v| s.cores[v].timers.next_deadline())
+            .min()
+            .map(Time::from_nanos);
         StallReport {
-            next_deadline: core.timers.next_deadline().map(Time::from_nanos),
-            live_tasks: core.tasks.len(),
+            next_deadline,
+            live_tasks: s.tasks.len(),
             polls,
         }
     }
 
     pub(crate) fn live_tasks(&self) -> usize {
-        self.0.lock().tasks.len()
+        self.sched.lock().tasks.len()
     }
 }

@@ -23,7 +23,9 @@ use crate::exec::CoreHandle;
 pub struct Sleep {
     pub(crate) deadline: Time,
     pub(crate) core: SleepCore,
-    pub(crate) id: Option<TimerId>,
+    /// `(core, wheel entry)` — sleeps arm the wheel of whichever core
+    /// polled them first and keep refreshing that same entry.
+    pub(crate) id: Option<(usize, TimerId)>,
 }
 
 pub(crate) struct SleepCore(pub(crate) CoreHandle);

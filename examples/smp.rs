@@ -1,0 +1,102 @@
+//! SMP: the Figure 8 throughput matrix across vCPU counts, plus the C1M
+//! quiet-tick claim split per core.
+//!
+//! Two mirage unikernels (sender and receiver) each run a
+//! [`Runtime::smp`] executor with one net-stack shard worker per vCPU; a
+//! multi-queue netfront fans RX frames to per-core ingress rings by RSS
+//! hash, so every flow's TCB is only ever touched by the core that owns
+//! its shard. The matrix runs {1, 16} bulk flows at {1, 2, 4, 8} vCPUs
+//! and reports aggregate goodput; the 16-flow row is the saturating one
+//! the scaling gates in `scripts/bench.sh --smp` assert over (>=1.7x at
+//! 2 vCPUs, >=3x at 4 vCPUs). The single-core 16-flow cell collapses
+//! under congestion — the C10K story — which is exactly the failure mode
+//! the extra cores remove.
+//!
+//! ```text
+//! cargo run --release --example smp
+//! ```
+//!
+//! Knobs (all optional):
+//!
+//! * `MIRAGE_SMP_BYTES` — bytes per flow in the matrix   (default 200_000)
+//! * `MIRAGE_SMP_CONNS` — idle connections for the split (default 2048)
+//!
+//! Everything printed on **stdout** is a function of virtual time only
+//! and is byte-identical across runs (`scripts/verify.sh --smp` diffs a
+//! double run); wall-clock timings go to **stderr**.
+
+use std::time::Instant;
+
+use mirage::baseline::netperf::TcpEndpoint;
+use mirage::hypervisor::Dur;
+use mirage_bench::netsim::{idle_smp, iperf_smp};
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let bytes = env_usize("MIRAGE_SMP_BYTES", 200_000);
+    let conns = env_usize("MIRAGE_SMP_CONNS", 2048);
+
+    println!("transfer   : {bytes} bytes/flow");
+
+    let mut saturating = Vec::new();
+    for flows in [1usize, 16] {
+        for vcpus in [1usize, 2, 4, 8] {
+            let t0 = Instant::now();
+            let r = iperf_smp(TcpEndpoint::Mirage, TcpEndpoint::Mirage, vcpus, flows, bytes);
+            eprintln!(
+                "wall: cell flows={flows} vcpus={vcpus} took {:.2} s",
+                t0.elapsed().as_secs_f64()
+            );
+            println!(
+                "cell flows={flows:<2} vcpus={vcpus} : goodput {:.1} Mb/s ({} bytes)",
+                r.mbps, r.bytes
+            );
+            if flows == 16 {
+                saturating.push((vcpus, r.mbps));
+            }
+        }
+    }
+
+    let base = saturating
+        .iter()
+        .find(|(v, _)| *v == 1)
+        .map(|(_, m)| *m)
+        .expect("1-vCPU cell present");
+    let speedup = |want: usize| {
+        saturating
+            .iter()
+            .find(|(v, _)| *v == want)
+            .map(|(_, m)| m / base)
+            .expect("cell present")
+    };
+    println!(
+        "scaling    : x{:.2} at 2 vcpus, x{:.2} at 4 vcpus, x{:.2} at 8 vcpus (16-flow row)",
+        speedup(2),
+        speedup(4),
+        speedup(8)
+    );
+
+    // C1M quiet-tick split per core: a 4-vCPU server holds idle
+    // keep-alive connections through a 64 ms quiet window; an idle
+    // connection arms no deadline, so every core's wheel must stay
+    // silent — the O(due work) claim holds per core, not just in
+    // aggregate.
+    let t0 = Instant::now();
+    let r = idle_smp(4, conns, Dur::millis(64));
+    eprintln!("wall: idle split took {:.2} s", t0.elapsed().as_secs_f64());
+    println!("idle split : {} conns held on 4 vcpus, 64 ms quiet window", r.established);
+    for (core, (held, polls)) in r
+        .conns_per_core
+        .iter()
+        .zip(&r.quiet_polls_per_core)
+        .enumerate()
+    {
+        println!("  core {core}   : conns {held:>5}, quiet timer polls {polls}");
+    }
+}

@@ -13,6 +13,16 @@
 #                               # over the loss x delay grid and write
 #                               # BENCH_cc.json, gating CUBIC >= NewReno
 #                               # goodput on the clean (zero-loss) cells
+#   scripts/bench.sh --smp      # run the SMP matrix (examples/smp):
+#                               # {1,16} flows x {1,2,4,8} vCPUs, writing
+#                               # BENCH_smp.json and gating >=1.7x speedup
+#                               # at 2 vCPUs and >=3x at 4 vCPUs on the
+#                               # saturating 16-flow row, plus a zero
+#                               # quiet-tick poll count on every core
+#
+# Every writer hands its result to scripts/bench_guard.py, which refuses
+# to overwrite a checked-in BENCH_*.json whose gated metrics would
+# regress versus the recorded values.
 #
 # The micro_zerocopy bench asserts the copy-count gate itself (at most one
 # software copy per delivered payload byte on the HTTP static-file path);
@@ -31,7 +41,7 @@ if [[ "${1:-}" == "--scale" ]]; then
     ./target/release/examples/c1m > "$tmp/c1m.out" 2> "$tmp/c1m.err"
     cat "$tmp/c1m.out" "$tmp/c1m.err"
 
-    python3 - "$tmp" "$out" <<'PY'
+    python3 - "$tmp" "$tmp/candidate.json" <<'PY'
 import json, re, sys
 
 tmp, out = sys.argv[1], sys.argv[2]
@@ -101,8 +111,9 @@ if result["quiet_tick_ns_per_virtual_ms"]["ratio"] > 2.0:
 with open(out, "w") as f:
     json.dump(result, f, indent=2)
     f.write("\n")
-print(f"wrote {out}")
+print("candidate ok (gates passed)")
 PY
+    python3 scripts/bench_guard.py "$out" "$tmp/candidate.json"
     echo "== bench: done"
     exit 0
 fi
@@ -114,7 +125,7 @@ if [[ "${1:-}" == "--cc" ]]; then
     ./target/release/examples/cc_race > "$tmp/cc.out"
     cat "$tmp/cc.out"
 
-    python3 - "$tmp" "$out" <<'PY'
+    python3 - "$tmp" "$tmp/candidate.json" <<'PY'
 import json, re, sys
 
 tmp, out = sys.argv[1], sys.argv[2]
@@ -170,8 +181,98 @@ result = {
 with open(out, "w") as f:
     json.dump(result, f, indent=2)
     f.write("\n")
-print(f"wrote {out}")
+print("candidate ok (gates passed)")
 PY
+    python3 scripts/bench_guard.py "$out" "$tmp/candidate.json"
+    echo "== bench: done"
+    exit 0
+fi
+
+if [[ "${1:-}" == "--smp" ]]; then
+    out=BENCH_smp.json
+    echo "== bench: smp matrix ({1,16} flows x {1,2,4,8} vCPUs + idle split)"
+    cargo build --release --offline --example smp
+    ./target/release/examples/smp > "$tmp/smp.out" 2> "$tmp/smp.err"
+    cat "$tmp/smp.out" "$tmp/smp.err"
+
+    python3 - "$tmp" "$tmp/candidate.json" <<'PY'
+import json, re, sys
+
+tmp, out = sys.argv[1], sys.argv[2]
+stdout = open(f"{tmp}/smp.out").read()
+
+bytes_ = re.search(r"transfer\s*:\s*(\d+) bytes/flow", stdout)
+if not bytes_:
+    sys.exit("FAIL: could not parse smp header")
+
+matrix = {}
+for m in re.finditer(
+    r"cell flows=(\d+)\s+vcpus=(\d+) : goodput ([\d.]+) Mb/s \((\d+) bytes\)", stdout
+):
+    matrix.setdefault(f"flows{m.group(1)}", {})[m.group(2)] = {
+        "goodput_mbps": float(m.group(3)),
+        "bytes": int(m.group(4)),
+    }
+if set(matrix) != {"flows1", "flows16"} or any(
+    set(row) != {"1", "2", "4", "8"} for row in matrix.values()
+):
+    sys.exit(f"FAIL: expected a full 2x4 matrix, parsed {matrix}")
+
+scal = re.search(
+    r"scaling\s*:\s*x([\d.]+) at 2 vcpus, x([\d.]+) at 4 vcpus, x([\d.]+) at 8 vcpus",
+    stdout,
+)
+if not scal:
+    sys.exit("FAIL: could not parse scaling summary")
+
+idle = re.search(r"idle split\s*:\s*(\d+) conns held on (\d+) vcpus, (\d+) ms quiet window",
+                 stdout)
+if not idle:
+    sys.exit("FAIL: could not parse idle split header")
+per_core = [
+    {"core": int(m.group(1)), "conns": int(m.group(2)), "quiet_polls": int(m.group(3))}
+    for m in re.finditer(r"core (\d+)\s*: conns\s*(\d+), quiet timer polls (\d+)", stdout)
+]
+if len(per_core) != int(idle.group(2)):
+    sys.exit(f"FAIL: expected {idle.group(2)} per-core lines, parsed {len(per_core)}")
+
+result = {
+    "scenario": "smp",
+    "bytes_per_flow": int(bytes_.group(1)),
+    "matrix": matrix,
+    "speedup_16flows": {
+        "x2": float(scal.group(1)),
+        "x4": float(scal.group(2)),
+        "x8": float(scal.group(3)),
+    },
+    "idle_split": {
+        "conns": int(idle.group(1)),
+        "vcpus": int(idle.group(2)),
+        "quiet_ms": int(idle.group(3)),
+        "per_core": per_core,
+    },
+}
+
+# Gates: on the saturating 16-flow row the extra cores must actually buy
+# throughput — >=1.7x at 2 vCPUs, >=3x at 4 — and a quiet tick must cost
+# every core zero wheel polls (the C1M claim, per core).
+if result["speedup_16flows"]["x2"] < 1.7:
+    sys.exit("FAIL: 2-vCPU speedup x%.2f below 1.7x on the 16-flow row"
+             % result["speedup_16flows"]["x2"])
+if result["speedup_16flows"]["x4"] < 3.0:
+    sys.exit("FAIL: 4-vCPU speedup x%.2f below 3.0x on the 16-flow row"
+             % result["speedup_16flows"]["x4"])
+for pc in result["idle_split"]["per_core"]:
+    if pc["quiet_polls"] != 0:
+        sys.exit("FAIL: core %d polled %d idle connections in a quiet window"
+                 % (pc["core"], pc["quiet_polls"]))
+
+with open(out, "w") as f:
+    json.dump(result, f, indent=2)
+    f.write("\n")
+print("candidate ok (gates passed)")
+PY
+    python3 scripts/bench_guard.py "$out" "$tmp/candidate.json"
     echo "== bench: done"
     exit 0
 fi
@@ -188,7 +289,7 @@ run_bench fig08_tcp
 run_bench fig12_web
 run_bench micro_zerocopy
 
-python3 - "$tmp" "$out" <<'PY'
+python3 - "$tmp" "$tmp/candidate.json" <<'PY'
 import json, re, sys
 
 tmp, out = sys.argv[1], sys.argv[2]
@@ -240,7 +341,8 @@ result["benches"]["micro_zerocopy"] = entry
 with open(out, "w") as f:
     json.dump(result, f, indent=2)
     f.write("\n")
-print(f"wrote {out}")
+print("candidate ok")
 PY
+python3 scripts/bench_guard.py "$out" "$tmp/candidate.json"
 
 echo "== bench: done"

@@ -26,6 +26,14 @@
 #                                    # scale test suite at 100k in
 #                                    # release, and the full 1M bench
 #                                    # emitting a gated BENCH_scale.json
+#   scripts/verify.sh --smp          # additionally run the SMP matrix
+#                                    # (examples/smp) twice under one
+#                                    # fixed seed with diffed stdout —
+#                                    # per-core executors and RSS-sharded
+#                                    # stacks must stay byte-deterministic
+#                                    # — then the gated BENCH_smp.json
+#   scripts/verify.sh --all          # every gate above, with a per-gate
+#                                    # wall-time summary at the end
 #
 # Flags combine: `verify.sh --chaos --adversarial` runs both extras.
 #
@@ -36,6 +44,13 @@
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+# Per-gate wall-time bookkeeping (printed when more than the base tier
+# runs, always under --all).
+timings=()
+gate_t0=$SECONDS
+mark() { gate_t0=$SECONDS; }
+lap() { timings+=("$(printf '%-14s %5ss' "$1" "$((SECONDS - gate_t0))")"); }
 
 echo "== gate: no registry dependencies in any manifest"
 # (a) The crates the seed depended on must never return.
@@ -66,6 +81,8 @@ for ex in quickstart boot_storm dns_appliance web_appliance openflow_appliance; 
     cargo run --release --offline --example "$ex" > /dev/null
 done
 
+lap tier1
+
 want() {
     local flag="$1"
     shift
@@ -75,7 +92,12 @@ want() {
     return 1
 }
 
+if want --all "$@"; then
+    set -- --determinism --bench --chaos --adversarial --cc --scale --smp
+fi
+
 if want --bench "$@"; then
+    mark
     echo "== bench: network-path figures + zero-copy gate"
     scripts/bench.sh
     # The ablation bench already asserts the budget internally; re-check
@@ -89,11 +111,13 @@ if want --bench "$@"; then
         exit 1
     }
     echo "   ok (zero-copy budget held)"
+    lap bench
 fi
 
 norm() { sed 's/finished in [0-9.]*s//'; }
 
 if want --chaos "$@"; then
+    mark
     echo "== chaos: fault-injection suite under ten fixed seeds"
     for seed in 1 2 3 5 8 13 42 97 1337 4242; do
         echo "   -- seed $seed"
@@ -105,9 +129,11 @@ if want --chaos "$@"; then
     MIRAGE_TEST_SEED="$seed" cargo test -q --offline --test chaos 2>&1 | norm > /tmp/mirage-chaos-run2
     diff /tmp/mirage-chaos-run1 /tmp/mirage-chaos-run2
     echo "   ok (seed $seed)"
+    lap chaos
 fi
 
 if want --adversarial "$@"; then
+    mark
     echo "== adversarial: seeded attack suite under ten fixed seeds"
     for seed in 1 2 3 5 8 13 42 97 1337 4242; do
         echo "   -- seed $seed"
@@ -119,9 +145,11 @@ if want --adversarial "$@"; then
     MIRAGE_TEST_SEED="$seed" cargo test -q --offline --test adversarial 2>&1 | norm > /tmp/mirage-adversarial-run2
     diff /tmp/mirage-adversarial-run1 /tmp/mirage-adversarial-run2
     echo "   ok (seed $seed)"
+    lap adversarial
 fi
 
 if want --cc "$@"; then
+    mark
     echo "== cc: congestion-control race under ten fixed seeds (1 MiB transfers)"
     cargo build --release --offline --example cc_race
     for seed in 1 2 3 5 8 13 42 97 1337 4242; do
@@ -139,9 +167,11 @@ if want --cc "$@"; then
     echo "   ok (seed $seed, byte-identical)"
     echo "== cc: full-size race -> BENCH_cc.json (gated)"
     scripts/bench.sh --cc
+    lap cc
 fi
 
 if want --scale "$@"; then
+    mark
     echo "== scale: reduced c1m double run must print identical stdout"
     cargo build --release --offline --example c1m
     scale_env=(MIRAGE_C1M_CONNS=100000 MIRAGE_C1M_HOT=512 MIRAGE_C1M_STORM=100)
@@ -153,15 +183,38 @@ if want --scale "$@"; then
     MIRAGE_SCALE_CONNS=100000 cargo test -q --offline --release --test scale
     echo "== scale: full C1M bench -> BENCH_scale.json (gated)"
     scripts/bench.sh --scale
+    lap scale
+fi
+
+if want --smp "$@"; then
+    mark
+    echo "== smp: two same-seed runs must print identical stdout"
+    cargo build --release --offline --example smp
+    seed="${MIRAGE_TEST_SEED:-42}"
+    MIRAGE_TEST_SEED="$seed" ./target/release/examples/smp 2> /dev/null > /tmp/mirage-smp-run1
+    MIRAGE_TEST_SEED="$seed" ./target/release/examples/smp 2> /dev/null > /tmp/mirage-smp-run2
+    diff /tmp/mirage-smp-run1 /tmp/mirage-smp-run2
+    echo "   ok (seed $seed, byte-identical)"
+    echo "== smp: matrix + idle split -> BENCH_smp.json (gated)"
+    scripts/bench.sh --smp
+    lap smp
 fi
 
 if want --determinism "$@"; then
+    mark
     echo "== determinism: two test runs under one seed must be identical"
     seed="${MIRAGE_TEST_SEED:-42}"
     MIRAGE_TEST_SEED="$seed" cargo test -q --offline --workspace 2>&1 | norm > /tmp/mirage-verify-run1
     MIRAGE_TEST_SEED="$seed" cargo test -q --offline --workspace 2>&1 | norm > /tmp/mirage-verify-run2
     diff /tmp/mirage-verify-run1 /tmp/mirage-verify-run2
     echo "   ok (seed $seed)"
+    lap determinism
 fi
 
+if [[ ${#timings[@]} -gt 1 ]]; then
+    echo "== gate timings"
+    for t in "${timings[@]}"; do
+        echo "   $t"
+    done
+fi
 echo "== verify: PASS"
