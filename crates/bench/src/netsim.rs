@@ -3,8 +3,8 @@
 //! [`mirage_baseline::netperf`] charged on the data path.
 
 use mirage_baseline::netperf::{TcpEndpoint, MSS};
-use mirage_devices::netfront::{CopyDiscipline, Netfront};
-use mirage_devices::{DriverDomain, NetProfile, Xenstore};
+use mirage_devices::netfront::CopyDiscipline;
+use mirage_devices::{Backend, DriverDomain, NetProfile, Xenstore};
 use mirage_hypervisor::{Dur, Hypervisor, Time};
 use mirage_net::{Ipv4Addr, Mac, Stack, StackConfig};
 use mirage_runtime::{Runtime, UnikernelGuest};
@@ -22,8 +22,21 @@ pub struct IperfResult {
 }
 
 /// Runs `flows` parallel bulk flows of `bytes_per_flow` from a `tx`-profile
-/// endpoint to an `rx`-profile endpoint and reports aggregate goodput.
+/// endpoint to an `rx`-profile endpoint and reports aggregate goodput,
+/// over the default Xen-ring transport.
 pub fn iperf(
+    tx: TcpEndpoint,
+    rx: TcpEndpoint,
+    flows: usize,
+    bytes_per_flow: usize,
+) -> IperfResult {
+    iperf_on(Backend::XenRing, tx, rx, flows, bytes_per_flow)
+}
+
+/// [`iperf`], with the ring ABI an explicit axis: the same flows ride
+/// Xen-style rings or split virtqueues depending on `backend`.
+pub fn iperf_on(
+    backend: Backend,
     tx: TcpEndpoint,
     rx: TcpEndpoint,
     flows: usize,
@@ -67,7 +80,7 @@ pub fn iperf(
     let tx_cfg = stack_cfg(TX_IP);
 
     // Receiver.
-    let (front_rx, nh_rx) = Netfront::new(xs.clone(), "rx", Mac::local(2).0, CopyDiscipline::ZeroCopy);
+    let (front_rx, nh_rx) = backend.net(xs.clone(), "rx", Mac::local(2).0, CopyDiscipline::ZeroCopy);
     let total_expected = (flows * bytes_per_flow) as u64;
     let mut rx_guest = UnikernelGuest::new(move |_env, rt| {
         let stack = Stack::spawn(rt, nh_rx, rx_cfg);
@@ -99,11 +112,11 @@ pub fn iperf(
             rt2.now().as_nanos() as i64
         })
     });
-    rx_guest.add_device(Box::new(front_rx));
+    rx_guest.add_device(front_rx);
     let rx_dom = hv.create_domain("iperf-rx", 128, Box::new(rx_guest));
 
     // Sender.
-    let (front_tx, nh_tx) = Netfront::new(xs.clone(), "tx", Mac::local(1).0, CopyDiscipline::ZeroCopy);
+    let (front_tx, nh_tx) = backend.net(xs.clone(), "tx", Mac::local(1).0, CopyDiscipline::ZeroCopy);
     let mut tx_guest = UnikernelGuest::new(move |_env, rt| {
         let stack = Stack::spawn(rt, nh_tx, tx_cfg);
         let rt2 = rt.clone();
@@ -136,7 +149,7 @@ pub fn iperf(
             0i64
         })
     });
-    tx_guest.add_device(Box::new(front_tx));
+    tx_guest.add_device(front_tx);
     hv.create_domain("iperf-tx", 128, Box::new(tx_guest));
 
     hv.set_step_budget(400_000_000);
@@ -159,6 +172,19 @@ pub fn iperf(
 /// the Figure 8 bottleneck — is charged on parallel vCPU lanes and the
 /// gang-placed step overlaps them on distinct pCPUs.
 pub fn iperf_smp(
+    tx: TcpEndpoint,
+    rx: TcpEndpoint,
+    vcpus: usize,
+    flows: usize,
+    bytes_per_flow: usize,
+) -> IperfResult {
+    iperf_smp_on(Backend::XenRing, tx, rx, vcpus, flows, bytes_per_flow)
+}
+
+/// [`iperf_smp`], with the ring ABI an explicit axis: multi-queue
+/// Xen-ring netfront or one virtqueue pair per vCPU.
+pub fn iperf_smp_on(
+    backend: Backend,
     tx: TcpEndpoint,
     rx: TcpEndpoint,
     vcpus: usize,
@@ -202,7 +228,7 @@ pub fn iperf_smp(
     let tx_cfg = stack_cfg(TX_IP);
 
     // Receiver: one RX queue per vCPU, one shard worker per queue.
-    let (front_rx, handles_rx) = Netfront::new_multiqueue(
+    let (front_rx, handles_rx) = backend.net_multiqueue(
         xs.clone(),
         "rx",
         Mac::local(2).0,
@@ -237,11 +263,11 @@ pub fn iperf_smp(
             rt2.now().as_nanos() as i64
         })
     });
-    rx_guest.add_device(Box::new(front_rx));
+    rx_guest.add_device(front_rx);
     let rx_dom = hv.create_domain_vcpus("iperf-smp-rx", 128, Box::new(rx_guest), vcpus);
 
     // Sender, mirrored: sharded stack, flow tasks pinned round-robin.
-    let (front_tx, handles_tx) = Netfront::new_multiqueue(
+    let (front_tx, handles_tx) = backend.net_multiqueue(
         xs.clone(),
         "tx",
         Mac::local(1).0,
@@ -279,7 +305,7 @@ pub fn iperf_smp(
             0i64
         })
     });
-    tx_guest.add_device(Box::new(front_tx));
+    tx_guest.add_device(front_tx);
     hv.create_domain_vcpus("iperf-smp-tx", 128, Box::new(tx_guest), vcpus);
 
     hv.set_step_budget(400_000_000);
@@ -331,7 +357,7 @@ pub fn idle_smp(vcpus: usize, conns: usize, quiet: Dur) -> IdleSmpReport {
     let report: Arc<Mutex<Option<IdleSmpReport>>> = Arc::new(Mutex::new(None));
 
     // Server: sharded stack, parks every accepted stream for the duration.
-    let (front_srv, handles_srv) = Netfront::new_multiqueue(
+    let (front_srv, handles_srv) = Backend::XenRing.net_multiqueue(
         xs.clone(),
         "idle-srv",
         Mac::local(2).0,
@@ -365,12 +391,12 @@ pub fn idle_smp(vcpus: usize, conns: usize, quiet: Dur) -> IdleSmpReport {
             0i64
         })
     });
-    srv_guest.add_device(Box::new(front_srv));
+    srv_guest.add_device(front_srv);
     let srv_dom = hv.create_domain_vcpus("idle-smp-srv", 256, Box::new(srv_guest), vcpus);
 
     // Client: same width, each core ramps its share of the connections
     // sequentially and parks them (keep-alive, no requests).
-    let (front_cli, handles_cli) = Netfront::new_multiqueue(
+    let (front_cli, handles_cli) = Backend::XenRing.net_multiqueue(
         xs.clone(),
         "idle-cli",
         Mac::local(1).0,
@@ -405,7 +431,7 @@ pub fn idle_smp(vcpus: usize, conns: usize, quiet: Dur) -> IdleSmpReport {
             0i64
         })
     });
-    cli_guest.add_device(Box::new(front_cli));
+    cli_guest.add_device(front_cli);
     hv.create_domain_vcpus("idle-smp-cli", 256, Box::new(cli_guest), vcpus);
 
     hv.set_step_budget(400_000_000);
@@ -424,6 +450,22 @@ mod tests {
         let r = iperf(TcpEndpoint::Linux, TcpEndpoint::Mirage, 1, 300_000);
         assert_eq!(r.bytes, 300_000);
         assert!(r.mbps > 50.0, "non-trivial goodput: {:.0} Mb/s", r.mbps);
+    }
+
+    #[test]
+    fn virtio_iperf_delivers_comparable_goodput() {
+        let xen = iperf_on(Backend::XenRing, TcpEndpoint::Mirage, TcpEndpoint::Mirage, 1, 200_000);
+        let vio = iperf_on(Backend::Virtio, TcpEndpoint::Mirage, TcpEndpoint::Mirage, 1, 200_000);
+        assert_eq!(xen.bytes, vio.bytes);
+        // Both transports price the same data path; goodput must land in
+        // the same ballpark (well within 2x either way).
+        let ratio = vio.mbps / xen.mbps;
+        assert!(
+            (0.5..2.0).contains(&ratio),
+            "backends diverge: xen {:.0} vs virtio {:.0} Mb/s",
+            xen.mbps,
+            vio.mbps
+        );
     }
 
     #[test]

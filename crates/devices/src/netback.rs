@@ -8,6 +8,15 @@
 //! rings, switches Ethernet frames between guests (learning by source MAC),
 //! and services block requests against per-VBD [`SimulatedDisk`]s with the
 //! device's timing profile.
+//!
+//! The switch speaks both ring ABIs. A port is either a Xen-ring NIC
+//! (`device/net/...`, one TX/RX descriptor-ring pair) or a virtio NIC
+//! (`device/vnet/...`, one TX/RX split-virtqueue pair *per queue*, RSS
+//! classification on delivery); block service likewise covers Xen rings
+//! (`device/blk/...`) and virtio queues (`device/vblk/...`). Frames and
+//! requests from both families flow through the same forwarding, link
+//! conditioning, fault injection and timing paths, so a differential run
+//! only varies the transport.
 
 use std::collections::{BinaryHeap, HashMap, HashSet, VecDeque};
 use std::sync::Arc;
@@ -23,8 +32,22 @@ use mirage_ring::BackRing;
 
 use crate::blk::{wire as blkwire, DiskProfile, SimulatedDisk, SECTOR_SIZE};
 use crate::netem::{DiskFaultPlan, Netem};
-use crate::netfront::{gref_only, parse_gref, parse_tx_req, rx_rsp};
+use crate::netfront::{gref_only, parse_gref, parse_tx_req, rx_rsp, MAX_FRAME};
+use crate::virtio::virtqueue::{split_addr, DeviceQueue};
+use crate::virtio::blk::{STATUS_IOERR, STATUS_OK};
 use crate::xenstore::Xenstore;
+
+/// A switch port, across both ring ABIs. Taps inject as
+/// [`PortRef::External`]: no MAC learning, no flood self-exclusion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum PortRef {
+    /// Index into the Xen-ring NIC table.
+    Xen(usize),
+    /// Index into the virtio NIC table.
+    Vnet(usize),
+    /// A host-side tap.
+    External,
+}
 
 /// Broadcast MAC.
 pub const MAC_BROADCAST: [u8; 6] = [0xFF; 6];
@@ -100,7 +123,7 @@ struct NetBackendInst {
 struct DelayedFrame {
     release_at: Time,
     seq: u64,
-    src_idx: usize,
+    src: PortRef,
     frame: PktBuf,
 }
 
@@ -166,6 +189,73 @@ struct BlkBackendInst {
     disk: SimulatedDisk,
     busy_until: Time,
     pending: BinaryHeap<PendingBlk>,
+}
+
+/// One virtqueue pair of a virtio NIC port, with its own event channel
+/// and per-queue output queue (frames already RSS-classified to it).
+struct VnetQueueBack {
+    port: Port,
+    tx: DeviceQueue,
+    rx: DeviceQueue,
+    out_queue: VecDeque<PktBuf>,
+}
+
+struct VnetBackendInst {
+    base: String,
+    frontend: DomainId,
+    queues: Vec<VnetQueueBack>,
+    mapped: HashMap<u32, SharedPage>,
+    out_drops: u64,
+    /// Set while the frontend has frames queued but no posted RX chain
+    /// (same dead-guest attribution as the Xen path).
+    rx_starved: bool,
+}
+
+/// A virtio block request in service, completing at `done_at`. The
+/// descriptor chain stays owned by the device until then; `data_addr` /
+/// `status_addr` are where the completion writes back.
+struct PendingVBlk {
+    done_at: Time,
+    head: u16,
+    id: u64,
+    is_read: bool,
+    ok: bool,
+    sector: u64,
+    count: u16,
+    data_addr: u64,
+    status_addr: u64,
+}
+
+impl PartialEq for PendingVBlk {
+    fn eq(&self, other: &Self) -> bool {
+        self.done_at == other.done_at && self.id == other.id
+    }
+}
+impl Eq for PendingVBlk {}
+impl PartialOrd for PendingVBlk {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for PendingVBlk {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Min-heap by completion time.
+        other
+            .done_at
+            .cmp(&self.done_at)
+            .then_with(|| other.id.cmp(&self.id))
+    }
+}
+
+struct VblkBackendInst {
+    base: String,
+    frontend: DomainId,
+    port: Port,
+    queue: DeviceQueue,
+    mapped: HashMap<u32, SharedPage>,
+    disk: SimulatedDisk,
+    busy_until: Time,
+    pending: BinaryHeap<PendingVBlk>,
 }
 
 /// Network fabric parameters.
@@ -245,8 +335,10 @@ pub struct DriverDomain {
     disk_profile: DiskProfile,
     nics: Vec<NetBackendInst>,
     blks: Vec<BlkBackendInst>,
+    vnets: Vec<VnetBackendInst>,
+    vblks: Vec<VblkBackendInst>,
     seen: HashSet<String>,
-    mac_table: HashMap<[u8; 6], usize>,
+    mac_table: HashMap<[u8; 6], PortRef>,
     taps: Vec<Tap>,
     stats: Arc<Mutex<DriverStats>>,
     netem: Option<Netem>,
@@ -275,6 +367,8 @@ impl DriverDomain {
             disk_profile,
             nics: Vec::new(),
             blks: Vec::new(),
+            vnets: Vec::new(),
+            vblks: Vec::new(),
             seen: HashSet::new(),
             mac_table: HashMap::new(),
             taps: Vec::new(),
@@ -400,7 +494,147 @@ impl DriverDomain {
             self.seen.insert(base);
             progressed = true;
         }
+        // Virtio network frontends: one split-virtqueue pair per queue,
+        // one event channel per queue.
+        for key in self.xs.keys_with_prefix("device/vnet/") {
+            let Some(base) = key.strip_suffix("/state").map(str::to_owned) else {
+                continue;
+            };
+            if self.seen.contains(&base) {
+                continue;
+            }
+            if self.xs.read(env, &key).as_deref() != Some("initialising") {
+                continue;
+            }
+            let (Some(dom), Some(queues)) = (
+                self.xs
+                    .read(env, &format!("{base}/frontend-domid"))
+                    .and_then(|s| s.parse::<u32>().ok()),
+                self.xs
+                    .read(env, &format!("{base}/queues"))
+                    .and_then(|s| s.parse::<usize>().ok()),
+            ) else {
+                continue;
+            };
+            if queues == 0 {
+                continue;
+            }
+            let frontend = DomainId(dom);
+            let Some(backs) = self.attach_vnet_queues(env, &base, queues) else {
+                continue;
+            };
+            let mut inst = VnetBackendInst {
+                base: base.clone(),
+                frontend,
+                queues: Vec::with_capacity(queues),
+                mapped: HashMap::new(),
+                out_drops: 0,
+                rx_starved: false,
+            };
+            for (q, (tx, rx)) in backs.into_iter().enumerate() {
+                let port = env.evtchn_alloc_unbound(frontend);
+                self.xs.write(
+                    env,
+                    &format!("{base}/q{q}/event-port"),
+                    &port.0.to_string(),
+                );
+                inst.queues.push(VnetQueueBack {
+                    port,
+                    tx,
+                    rx,
+                    out_queue: VecDeque::new(),
+                });
+            }
+            self.vnets.push(inst);
+            self.seen.insert(base);
+            progressed = true;
+        }
+        // Virtio block frontends: one queue, three-descriptor chains.
+        for key in self.xs.keys_with_prefix("device/vblk/") {
+            let Some(base) = key.strip_suffix("/state").map(str::to_owned) else {
+                continue;
+            };
+            if self.seen.contains(&base) {
+                continue;
+            }
+            if self.xs.read(env, &key).as_deref() != Some("initialising") {
+                continue;
+            }
+            let (Some(dom), Some(sectors)) = (
+                self.xs
+                    .read(env, &format!("{base}/frontend-domid"))
+                    .and_then(|s| s.parse::<u32>().ok()),
+                self.xs
+                    .read(env, &format!("{base}/sectors"))
+                    .and_then(|s| s.parse::<u64>().ok()),
+            ) else {
+                continue;
+            };
+            let frontend = DomainId(dom);
+            let Some(queue) = self.attach_device_queue(env, &base, "") else {
+                continue;
+            };
+            let port = env.evtchn_alloc_unbound(frontend);
+            self.xs
+                .write(env, &format!("{base}/event-port"), &port.0.to_string());
+            self.vblks.push(VblkBackendInst {
+                base: base.clone(),
+                frontend,
+                port,
+                queue,
+                mapped: HashMap::new(),
+                disk: SimulatedDisk::new(self.disk_profile, sectors),
+                busy_until: Time::ZERO,
+                pending: BinaryHeap::new(),
+            });
+            self.seen.insert(base);
+            progressed = true;
+        }
         progressed
+    }
+
+    /// Maps one queue's three granted areas (`{prefix}desc/avail/used`
+    /// under `base`) and attaches the device half. The used area is the
+    /// only one mapped writable — the device never touches descriptors or
+    /// the avail ring.
+    fn attach_device_queue(
+        &self,
+        env: &mut DomainEnv<'_>,
+        base: &str,
+        prefix: &str,
+    ) -> Option<DeviceQueue> {
+        let read_gref = |env: &mut DomainEnv<'_>, area: &str| {
+            self.xs
+                .read(env, &format!("{base}/{prefix}{area}"))
+                .and_then(|s| s.parse::<u32>().ok())
+        };
+        let desc = read_gref(env, "desc")?;
+        let avail = read_gref(env, "avail")?;
+        let used = read_gref(env, "used")?;
+        let pages = crate::virtio::virtqueue::QueuePages {
+            desc: env.grant_map(GrantRef(desc), false).ok()?,
+            avail: env.grant_map(GrantRef(avail), false).ok()?,
+            used: env.grant_map(GrantRef(used), true).ok()?,
+        };
+        Some(DeviceQueue::attach(pages))
+    }
+
+    /// Maps every queue pair of a vnet frontend, or `None` if any grant
+    /// is not yet visible (the frontend writes them all before flipping
+    /// its state, so a partial read means a malformed handshake).
+    fn attach_vnet_queues(
+        &self,
+        env: &mut DomainEnv<'_>,
+        base: &str,
+        queues: usize,
+    ) -> Option<Vec<(DeviceQueue, DeviceQueue)>> {
+        let mut out = Vec::with_capacity(queues);
+        for q in 0..queues {
+            let tx = self.attach_device_queue(env, base, &format!("q{q}/tx-"))?;
+            let rx = self.attach_device_queue(env, base, &format!("q{q}/rx-"))?;
+            out.push((tx, rx));
+        }
+        Some(out)
     }
 
     fn map_cached(
@@ -417,17 +651,17 @@ impl DriverDomain {
         Some(page)
     }
 
-    /// Route `frame` from `src_idx` (usize::MAX for taps) to its
-    /// destination queue(s). Multi-port delivery (taps, floods) clones the
+    /// Route `frame` from `src` to its destination queue(s), across both
+    /// port families. Multi-port delivery (taps, floods) clones the
     /// `PktBuf` — a refcount bump, never a byte copy.
-    fn route(&mut self, src_idx: usize, frame: PktBuf) {
+    fn route(&mut self, src: PortRef, frame: PktBuf) {
         if frame.len() < 14 {
             return;
         }
         let dst: [u8; 6] = frame[0..6].try_into().expect("checked length");
-        let src: [u8; 6] = frame[6..12].try_into().expect("checked length");
-        if src_idx != usize::MAX {
-            self.mac_table.insert(src, src_idx);
+        let src_mac: [u8; 6] = frame[6..12].try_into().expect("checked length");
+        if src != PortRef::External {
+            self.mac_table.insert(src_mac, src);
         }
         self.stats.lock().frames_switched += 1;
 
@@ -442,44 +676,69 @@ impl DriverDomain {
         }
 
         match self.mac_table.get(&dst) {
-            Some(&idx) if dst != MAC_BROADCAST => {
-                Self::enqueue(&mut self.nics[idx], frame, &self.stats);
+            Some(&port) if dst != MAC_BROADCAST => {
+                self.deliver(port, frame);
             }
             _ => {
                 if tap_hit && dst != MAC_BROADCAST {
                     return;
                 }
-                // Flood to every other port.
-                for (idx, nic) in self.nics.iter_mut().enumerate() {
-                    if idx != src_idx {
-                        Self::enqueue(nic, frame.clone(), &self.stats);
+                // Flood to every other port, both families.
+                for idx in 0..self.nics.len() {
+                    if PortRef::Xen(idx) != src {
+                        self.deliver(PortRef::Xen(idx), frame.clone());
+                    }
+                }
+                for idx in 0..self.vnets.len() {
+                    if PortRef::Vnet(idx) != src {
+                        self.deliver(PortRef::Vnet(idx), frame.clone());
                     }
                 }
             }
         }
     }
 
-    fn enqueue(nic: &mut NetBackendInst, frame: PktBuf, stats: &Arc<Mutex<DriverStats>>) {
-        if nic.out_queue.len() >= OUT_QUEUE_CAP {
-            nic.out_drops += 1;
-            let mut s = stats.lock();
-            if nic.rx_starved {
+    /// Queues `frame` at a port, tail-dropping when its output queue is
+    /// full. Virtio ports classify into a per-queue output queue with the
+    /// same RSS hash the stack's demux uses, so every flow lands on the
+    /// virtqueue — and vCPU — owning its shard.
+    fn deliver(&mut self, port: PortRef, frame: PktBuf) {
+        let (queue, drops, starved) = match port {
+            PortRef::Xen(idx) => {
+                let nic = &mut self.nics[idx];
+                (&mut nic.out_queue, &mut nic.out_drops, nic.rx_starved)
+            }
+            PortRef::Vnet(idx) => {
+                let vnet = &mut self.vnets[idx];
+                let q = crate::rss::rx_queue(&frame, vnet.queues.len());
+                (
+                    &mut vnet.queues[q].out_queue,
+                    &mut vnet.out_drops,
+                    vnet.rx_starved,
+                )
+            }
+            PortRef::External => return,
+        };
+        if queue.len() >= OUT_QUEUE_CAP {
+            *drops += 1;
+            let mut s = self.stats.lock();
+            if starved {
                 s.frames_dropped_no_rx_buffer += 1;
             } else {
                 s.frames_dropped_congestion += 1;
             }
             return;
         }
-        nic.out_queue.push_back(frame);
+        queue.push_back(frame);
     }
 
     /// Offer a frame to the link conditioner (if any) before switching it.
     /// Conditioned frames may be dropped, duplicated, corrupted or held in
     /// the delay heap until their release time.
-    fn offer(&mut self, now: Time, src_idx: usize, frame: PktBuf) {
+    fn offer(&mut self, now: Time, src: PortRef, frame: PktBuf) {
         let outs = match self.netem.as_mut() {
             None => {
-                self.route(src_idx, frame);
+                self.route(src, frame);
                 return;
             }
             Some(nm) => nm.apply(now, frame),
@@ -490,13 +749,13 @@ impl DriverDomain {
         }
         for (release_at, frame) in outs {
             if release_at <= now {
-                self.route(src_idx, frame);
+                self.route(src, frame);
             } else {
                 self.delay_seq += 1;
                 self.delayed.push(DelayedFrame {
                     release_at,
                     seq: self.delay_seq,
-                    src_idx,
+                    src,
                     frame,
                 });
             }
@@ -514,7 +773,7 @@ impl DriverDomain {
             .unwrap_or(false)
         {
             let d = self.delayed.pop().expect("peeked");
-            self.route(d.src_idx, d.frame);
+            self.route(d.src, d.frame);
             progressed = true;
         }
         // Ingest frames from guests. On a multi-vCPU driver domain each
@@ -522,7 +781,7 @@ impl DriverDomain {
         // multi-queue switch port), so two saturated ports don't
         // serialise behind one core; a 1-vCPU dom0 behaves as before.
         let entry_lane = env.current_vcpu();
-        let mut routed: Vec<(usize, PktBuf)> = Vec::new();
+        let mut routed: Vec<(PortRef, PktBuf)> = Vec::new();
         for (idx, nic) in self.nics.iter_mut().enumerate() {
             env.on_vcpu(idx % env.vcpus());
             let _ = env.evtchn_consume(nic.port);
@@ -541,7 +800,7 @@ impl DriverDomain {
                 page.read(|b| frame.copy_from_slice(&b[..len as usize]));
                 // Wire serialisation time for this NIC.
                 env.consume(self.net_profile.wire_time(frame.len()));
-                routed.push((idx, PktBuf::from_vec(frame)));
+                routed.push((PortRef::Xen(idx), PktBuf::from_vec(frame)));
                 notify |= nic.tx_ring.push_response(&gref_only(gref)).unwrap_or(false);
                 progressed = true;
             }
@@ -549,10 +808,51 @@ impl DriverDomain {
                 let _ = env.evtchn_notify(nic.port);
             }
         }
+        // Ingest frames from virtio TX virtqueues: pop the chain, read
+        // the (single readable) buffer, return the chain with a used
+        // entry. Doorbell discipline mirrors the frontend: at most one
+        // interrupt per queue per pass.
+        for (idx, vnet) in self.vnets.iter_mut().enumerate() {
+            env.on_vcpu(idx % env.vcpus());
+            for qb in vnet.queues.iter_mut() {
+                let _ = env.evtchn_consume(qb.port);
+                let mut notify = false;
+                while let Some(chain) = qb.tx.pop_avail() {
+                    let mut frame = Vec::new();
+                    for &(addr, len, device_writes) in &chain.bufs {
+                        if device_writes {
+                            continue; // TX payloads are read-only buffers
+                        }
+                        let (gref, off) = split_addr(addr);
+                        let len = len as usize;
+                        let Some(page) = Self::map_cached(env, &mut vnet.mapped, gref, false)
+                        else {
+                            continue;
+                        };
+                        if off + len > mirage_hypervisor::PAGE_SIZE {
+                            continue;
+                        }
+                        let start = frame.len();
+                        frame.resize(start + len, 0);
+                        page.read(|b| frame[start..].copy_from_slice(&b[off..off + len]));
+                    }
+                    notify |= qb.tx.push_used(chain.head, 0);
+                    if frame.is_empty() || frame.len() > MAX_FRAME {
+                        continue;
+                    }
+                    env.consume(self.net_profile.wire_time(frame.len()));
+                    routed.push((PortRef::Vnet(idx), PktBuf::from_vec(frame)));
+                    progressed = true;
+                }
+                if notify {
+                    let _ = env.evtchn_notify(qb.port);
+                }
+            }
+        }
         env.on_vcpu(entry_lane);
-        for (idx, frame) in routed {
+        for (src, frame) in routed {
             let now = env.now();
-            self.offer(now, idx, frame);
+            self.offer(now, src, frame);
         }
         // Ingest frames from taps.
         let taps: Vec<Tap> = self.taps.clone();
@@ -562,7 +862,7 @@ impl DriverDomain {
                 let Some(frame) = frame else { break };
                 env.consume(self.net_profile.wire_time(frame.len()));
                 let now = env.now();
-                self.offer(now, usize::MAX, frame);
+                self.offer(now, PortRef::External, frame);
                 progressed = true;
             }
         }
@@ -591,6 +891,46 @@ impl DriverDomain {
             }
             if notify {
                 let _ = env.evtchn_notify(nic.port);
+            }
+        }
+        // Deliver queued frames into posted virtio RX chains, per queue.
+        for vnet in &mut self.vnets {
+            for qb in vnet.queues.iter_mut() {
+                let mut notify = false;
+                while let Some(frame) = qb.out_queue.front() {
+                    let flen = frame.len();
+                    let Some(chain) = qb.rx.pop_avail() else {
+                        vnet.rx_starved = true;
+                        break;
+                    };
+                    vnet.rx_starved = false;
+                    // The frontend posts single-page writable chains; take
+                    // the first device-writable buffer with capacity.
+                    let target = chain.bufs.iter().copied().find(|&(addr, len, w)| {
+                        let (_, off) = split_addr(addr);
+                        w && len as usize >= flen
+                            && off + flen <= mirage_hypervisor::PAGE_SIZE
+                    });
+                    let Some((addr, _, _)) = target else {
+                        // Undeliverable chain (too small / read-only):
+                        // return it empty and keep the frame queued.
+                        notify |= qb.rx.push_used(chain.head, 0);
+                        continue;
+                    };
+                    let (gref, off) = split_addr(addr);
+                    let Some(page) = Self::map_cached(env, &mut vnet.mapped, gref, true)
+                    else {
+                        notify |= qb.rx.push_used(chain.head, 0);
+                        continue;
+                    };
+                    let frame = qb.out_queue.pop_front().expect("peeked");
+                    page.write(|b| b[off..off + flen].copy_from_slice(&frame));
+                    notify |= qb.rx.push_used(chain.head, flen as u32);
+                    progressed = true;
+                }
+                if notify {
+                    let _ = env.evtchn_notify(qb.port);
+                }
             }
         }
         progressed
@@ -702,17 +1042,164 @@ impl DriverDomain {
         progressed
     }
 
+    /// Writes a virtio-blk status byte through the grant cache.
+    fn write_status(
+        env: &mut DomainEnv<'_>,
+        mapped: &mut HashMap<u32, SharedPage>,
+        addr: u64,
+        status: u8,
+    ) {
+        let (gref, off) = split_addr(addr);
+        if off >= mirage_hypervisor::PAGE_SIZE {
+            return;
+        }
+        if let Some(page) = Self::map_cached(env, mapped, gref, true) {
+            page.write(|b| b[off] = status);
+        }
+    }
+
+    /// Services virtio block queues: the same disk, fault plan and
+    /// NCQ-pipelined timing as [`Self::service_blk`], over
+    /// header/data/status descriptor chains instead of ring slots.
+    fn service_vblk(&mut self, env: &mut DomainEnv<'_>) -> bool {
+        let mut progressed = false;
+        for vblk in &mut self.vblks {
+            let _ = env.evtchn_consume(vblk.port);
+            let mut notify = false;
+            // Accept new chains, scheduling their completion times.
+            while let Some(chain) = vblk.queue.pop_avail() {
+                progressed = true;
+                // Expected shape: [header ro][data][status wo, 1 byte].
+                let shaped = chain.bufs.len() == 3
+                    && !chain.bufs[0].2
+                    && chain.bufs[0].1 == 23
+                    && chain.bufs[2].2
+                    && chain.bufs[2].1 == 1;
+                if !shaped {
+                    notify |= vblk.queue.push_used(chain.head, 0);
+                    continue;
+                }
+                let (hdr_addr, _, _) = chain.bufs[0];
+                let (data_addr, data_len, data_writable) = chain.bufs[1];
+                let (status_addr, _, _) = chain.bufs[2];
+                let (hgref, hoff) = split_addr(hdr_addr);
+                let header = Self::map_cached(env, &mut vblk.mapped, hgref, false)
+                    .filter(|_| hoff + 23 <= mirage_hypervisor::PAGE_SIZE)
+                    .map(|page| page.read(|b| b[hoff..hoff + 23].to_vec()));
+                let Some(header) = header else {
+                    notify |= vblk.queue.push_used(chain.head, 0);
+                    continue;
+                };
+                let Some((op, id, sector, count, _gref)) = blkwire::parse_req(&header)
+                else {
+                    Self::write_status(env, &mut vblk.mapped, status_addr, STATUS_IOERR);
+                    notify |= vblk.queue.push_used(chain.head, 1);
+                    continue;
+                };
+                let bytes = count as usize * SECTOR_SIZE;
+                let (_, doff) = split_addr(data_addr);
+                let is_read = op == blkwire::OP_READ;
+                let in_range = sector + count as u64 <= vblk.disk.sectors();
+                let data_fits = bytes <= data_len as usize
+                    && doff + bytes <= mirage_hypervisor::PAGE_SIZE;
+                if !in_range || !data_fits || (is_read && !data_writable) {
+                    Self::write_status(env, &mut vblk.mapped, status_addr, STATUS_IOERR);
+                    notify |= vblk.queue.push_used(chain.head, 1);
+                    continue;
+                }
+                let faults = vblk.disk.profile().faults.unwrap_or_default();
+                let mut ok = true;
+                if is_read {
+                    if DiskFaultPlan::hit(&mut self.disk_rng, faults.read_error_ppm) {
+                        ok = false;
+                        self.stats.lock().blk_read_errors += 1;
+                    }
+                } else {
+                    // Writes capture the data now (the page may be reused).
+                    let mut data = vec![0u8; bytes];
+                    let (dgref, doff) = split_addr(data_addr);
+                    if let Some(page) =
+                        Self::map_cached(env, &mut vblk.mapped, dgref, false)
+                    {
+                        page.read(|b| data.copy_from_slice(&b[doff..doff + bytes]));
+                    }
+                    if DiskFaultPlan::hit(&mut self.disk_rng, faults.write_error_ppm) {
+                        ok = false;
+                        self.stats.lock().blk_write_errors += 1;
+                    } else if DiskFaultPlan::hit(&mut self.disk_rng, faults.torn_write_ppm) {
+                        ok = false;
+                        let keep =
+                            self.disk_rng.gen_range(0..count) as usize * SECTOR_SIZE;
+                        vblk.disk.write(sector, &data[..keep]);
+                        self.stats.lock().blk_torn_writes += 1;
+                    } else {
+                        vblk.disk.write(sector, &data);
+                    }
+                }
+                // Same NCQ pipelining as the Xen path: occupancy is the
+                // transfer time, fixed latency overlaps queued requests.
+                let start = vblk.busy_until.max(env.now());
+                let transfer = vblk.disk.profile().transfer_time(bytes);
+                let done_at = start + transfer + vblk.disk.profile().latency;
+                vblk.busy_until = start + transfer;
+                vblk.pending.push(PendingVBlk {
+                    done_at,
+                    head: chain.head,
+                    id,
+                    is_read,
+                    ok,
+                    sector,
+                    count,
+                    data_addr,
+                    status_addr,
+                });
+            }
+            // Complete chains whose service time has elapsed.
+            let now = env.now();
+            while vblk
+                .pending
+                .peek()
+                .map(|p| p.done_at <= now)
+                .unwrap_or(false)
+            {
+                let p = vblk.pending.pop().expect("peeked");
+                let mut written = 1u32; // the status byte
+                if p.is_read && p.ok {
+                    let data = vblk.disk.read(p.sector, p.count);
+                    let (gref, off) = split_addr(p.data_addr);
+                    if let Some(page) =
+                        Self::map_cached(env, &mut vblk.mapped, gref, true)
+                    {
+                        page.write(|b| b[off..off + data.len()].copy_from_slice(&data));
+                    }
+                    written += data.len() as u32;
+                }
+                let status = if p.ok { STATUS_OK } else { STATUS_IOERR };
+                Self::write_status(env, &mut vblk.mapped, p.status_addr, status);
+                notify |= vblk.queue.push_used(p.head, written);
+                self.stats.lock().blk_completed += 1;
+                progressed = true;
+            }
+            if notify {
+                let _ = env.evtchn_notify(vblk.port);
+            }
+        }
+        progressed
+    }
+
     fn next_deadline(&self) -> Option<Time> {
         let blk = self
             .blks
             .iter()
             .filter_map(|b| b.pending.peek().map(|p| p.done_at))
             .min();
+        let vblk = self
+            .vblks
+            .iter()
+            .filter_map(|b| b.pending.peek().map(|p| p.done_at))
+            .min();
         let net = self.delayed.peek().map(|d| d.release_at);
-        match (blk, net) {
-            (Some(a), Some(b)) => Some(a.min(b)),
-            (a, b) => a.or(b),
-        }
+        [blk, vblk, net].into_iter().flatten().min()
     }
 }
 
@@ -728,6 +1215,7 @@ impl Guest for DriverDomain {
             let mut progressed = self.discover(env);
             progressed |= self.service_net(env);
             progressed |= self.service_blk(env);
+            progressed |= self.service_vblk(env);
             // Arm request notifications before blocking; any race means
             // another pass instead of a sleep.
             for nic in &mut self.nics {
@@ -736,8 +1224,19 @@ impl Guest for DriverDomain {
                     progressed |= nic.rx_ring.enable_request_notifications();
                 }
             }
+            for vnet in &mut self.vnets {
+                for qb in vnet.queues.iter_mut() {
+                    progressed |= qb.tx.enable_avail_notifications();
+                    if !qb.out_queue.is_empty() {
+                        progressed |= qb.rx.enable_avail_notifications();
+                    }
+                }
+            }
             for blk in &mut self.blks {
                 progressed |= blk.ring.enable_request_notifications();
+            }
+            for vblk in &mut self.vblks {
+                progressed |= vblk.queue.enable_avail_notifications();
             }
             if !progressed {
                 break;
@@ -747,7 +1246,9 @@ impl Guest for DriverDomain {
             .nics
             .iter()
             .map(|n| n.port)
+            .chain(self.vnets.iter().flat_map(|v| v.queues.iter().map(|q| q.port)))
             .chain(self.blks.iter().map(|b| b.port))
+            .chain(self.vblks.iter().map(|b| b.port))
             .collect();
         Step::Yield(Wake {
             deadline: self.next_deadline(),
@@ -760,7 +1261,9 @@ impl std::fmt::Debug for DriverDomain {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("DriverDomain")
             .field("nics", &self.nics.len())
+            .field("vnets", &self.vnets.len())
             .field("blks", &self.blks.len())
+            .field("vblks", &self.vblks.len())
             .field("taps", &self.taps.len())
             .finish()
     }
@@ -775,6 +1278,20 @@ impl NetBackendInst {
 }
 
 impl BlkBackendInst {
+    #[allow(dead_code)]
+    fn describe(&self) -> (&str, DomainId) {
+        (&self.base, self.frontend)
+    }
+}
+
+impl VnetBackendInst {
+    #[allow(dead_code)]
+    fn describe(&self) -> (&str, DomainId, u64) {
+        (&self.base, self.frontend, self.out_drops)
+    }
+}
+
+impl VblkBackendInst {
     #[allow(dead_code)]
     fn describe(&self) -> (&str, DomainId) {
         (&self.base, self.frontend)

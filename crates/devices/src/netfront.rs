@@ -62,6 +62,11 @@ pub struct NetifStats {
     pub rx_bytes: u64,
     /// Frames dropped at the transmit backlog.
     pub tx_drops: u64,
+    /// Frontend→backend event-channel notifications on the data plane.
+    /// Both ring ABIs batch: one service pass rings at most once per
+    /// queue, and only when the backend's announced event mark asks for
+    /// it — so this grows O(bursts), not O(frames).
+    pub doorbells: u64,
 }
 
 /// The stack-facing half of a network interface: send and receive whole
@@ -85,6 +90,17 @@ impl std::fmt::Debug for NetHandle {
 }
 
 impl NetHandle {
+    /// Assembles a handle around a driver's queue endpoints (shared by
+    /// the Xen and virtio frontends).
+    pub(crate) fn new(
+        mac: [u8; 6],
+        tx: Sender<PktBuf>,
+        rx: Receiver<PktBuf>,
+        stats: Arc<Mutex<NetifStats>>,
+    ) -> NetHandle {
+        NetHandle { mac, tx, rx, stats }
+    }
+
     /// Current interface counters.
     pub fn stats(&self) -> NetifStats {
         *self.stats.lock()
@@ -129,6 +145,37 @@ mod desc {
 }
 
 pub(crate) use desc::*;
+
+/// Prices moving `len` payload bytes from the stack into the granted I/O
+/// page, per the interface's [`CopyDiscipline`] — shared by both ring
+/// ABIs, so the architectural comparison is independent of the transport.
+pub(crate) fn charge_tx(discipline: CopyDiscipline, env: &mut DomainEnv<'_>, len: usize) {
+    match discipline {
+        CopyDiscipline::ZeroCopy => {
+            // The single serialise-into-I/O-page write.
+            let c = env.costs().copy(len);
+            env.consume(c);
+        }
+        CopyDiscipline::UserKernelCopy => {
+            let c = env.costs().syscall + env.costs().copy(len) + env.costs().copy(len);
+            env.consume(c);
+        }
+    }
+}
+
+/// Prices receiving `len` payload bytes, per the [`CopyDiscipline`].
+pub(crate) fn charge_rx(discipline: CopyDiscipline, env: &mut DomainEnv<'_>, len: usize) {
+    match discipline {
+        CopyDiscipline::ZeroCopy => {
+            // Page is mapped and sliced; no copy ("received pages are
+            // passed directly to the application", §3.4.1).
+        }
+        CopyDiscipline::UserKernelCopy => {
+            let c = env.costs().syscall + env.costs().copy(len);
+            env.consume(c);
+        }
+    }
+}
 
 enum FrontState {
     /// Advertise rings + domid in xenstore.
@@ -256,6 +303,11 @@ impl Netfront {
         self.service_vcpu = v;
     }
 
+    /// The interface MAC address.
+    pub fn mac(&self) -> [u8; 6] {
+        self.mac
+    }
+
     fn base(&self) -> String {
         format!("device/net/{}", self.name)
     }
@@ -335,33 +387,6 @@ impl Netfront {
         true
     }
 
-    fn charge_tx(discipline: CopyDiscipline, env: &mut DomainEnv<'_>, len: usize) {
-        match discipline {
-            CopyDiscipline::ZeroCopy => {
-                // The single serialise-into-I/O-page write.
-                let c = env.costs().copy(len);
-                env.consume(c);
-            }
-            CopyDiscipline::UserKernelCopy => {
-                let c = env.costs().syscall + env.costs().copy(len) + env.costs().copy(len);
-                env.consume(c);
-            }
-        }
-    }
-
-    fn charge_rx(discipline: CopyDiscipline, env: &mut DomainEnv<'_>, len: usize) {
-        match discipline {
-            CopyDiscipline::ZeroCopy => {
-                // Page is mapped and sliced; no copy ("received pages are
-                // passed directly to the application", §3.4.1).
-            }
-            CopyDiscipline::UserKernelCopy => {
-                let c = env.costs().syscall + env.costs().copy(len);
-                env.consume(c);
-            }
-        }
-    }
-
     fn step_connected(&mut self, env: &mut DomainEnv<'_>, _rt: &Runtime) -> bool {
         let mut progressed = false;
         let port = self.port.expect("connected");
@@ -401,7 +426,7 @@ impl Netfront {
                     let frame = PktBuf::from_vec(frame);
                     let q = crate::rss::rx_queue(&frame, self.to_stack.len());
                     env.on_vcpu(q % env.vcpus());
-                    Self::charge_rx(self.discipline, env, len as usize);
+                    charge_rx(self.discipline, env, len as usize);
                     env.on_vcpu(entry_lane);
                     {
                         let mut st = self.stats.lock();
@@ -452,7 +477,7 @@ impl Netfront {
             page.write(|b| b[..frame.len()].copy_from_slice(&frame));
             // Serialisation into the I/O page is the sending core's work.
             env.on_vcpu(src_q % env.vcpus());
-            Self::charge_tx(self.discipline, env, frame.len());
+            charge_tx(self.discipline, env, frame.len());
             env.on_vcpu(entry_lane);
             match tx_ring.push_request(&tx_req(gref.0, frame.len() as u16)) {
                 Ok(n) => {
@@ -473,6 +498,7 @@ impl Netfront {
         }
         if notify_tx || notify_rx {
             let _ = env.evtchn_notify(port);
+            self.stats.lock().doorbells += 1;
         }
         // Arm notifications before blocking; if responses raced in, go
         // around again instead of sleeping (the §3.5.1 footnote protocol).

@@ -1,0 +1,316 @@
+//! VirtioBlk — the guest-side block frontend over a split virtqueue.
+//!
+//! The virtio twin of [`crate::blk::Blkfront`]: the same stack-facing
+//! [`BlkHandle`] contract and the same 23-byte request header on the
+//! wire, but carried in the classic virtio-blk three-descriptor chain —
+//!
+//! 1. header (driver-written, device-read): op/id/sector/count;
+//! 2. data (device-written for reads, device-read for writes): up to one
+//!    page of sectors;
+//! 3. status (device-written): one byte, `0` for success.
+//!
+//! The header and status byte share one page (offsets 0 and
+//! [`STATUS_OFF`]), so each request slot costs two granted pages. The
+//! backend half lives in [`crate::netback`] and services both ABIs
+//! against the same [`SimulatedDisk`](crate::blk::SimulatedDisk), fault
+//! plan and timing model.
+
+use std::collections::{HashMap, VecDeque};
+
+use mirage_hypervisor::event::Port;
+use mirage_hypervisor::grant::{GrantRef, SharedPage};
+use mirage_hypervisor::{DomainEnv, DomainId};
+use mirage_runtime::channel::{self, Receiver, Sender};
+use mirage_runtime::{DeviceService, Runtime};
+
+use super::virtqueue::{buf_addr, ChainBuf, QueuePages, SplitQueue};
+use crate::blk::{
+    wire as blkwire, BlkCompletion, BlkHandle, BlkOp, BlkRequest, BLK_BUFFERS,
+    MAX_SECTORS_PER_REQ, SECTOR_SIZE,
+};
+use crate::xenstore::Xenstore;
+
+/// Offset of the one-byte status field within the header page.
+pub const STATUS_OFF: usize = 2048;
+/// Request status: success.
+pub const STATUS_OK: u8 = 0;
+/// Request status: device rejected or failed the request.
+pub const STATUS_IOERR: u8 = 1;
+
+enum VblkState {
+    Init,
+    WaitPort,
+    Connected,
+}
+
+/// One request slot: a header/status page plus a data page.
+struct Slot {
+    hdr_gref: GrantRef,
+    hdr_page: SharedPage,
+    data_gref: GrantRef,
+    data_page: SharedPage,
+}
+
+struct Inflight {
+    id: u64,
+    op: BlkOp,
+    slot: Slot,
+    read_bytes: usize,
+}
+
+/// The virtio block frontend; a [`DeviceService`] created through
+/// [`Backend::blk`](crate::driver::Backend::blk).
+pub struct VirtioBlk {
+    xs: Xenstore,
+    name: String,
+    disk_sectors: u64,
+    state: VblkState,
+    registered_watch: bool,
+    backend: Option<DomainId>,
+    staged: Option<QueuePages>,
+    queue: Option<SplitQueue>,
+    port: Option<Port>,
+    free_slots: Vec<Slot>,
+    inflight: HashMap<u16, Inflight>,
+    from_stack: Receiver<BlkRequest>,
+    to_stack: Sender<BlkCompletion>,
+    backlog: VecDeque<BlkRequest>,
+}
+
+impl VirtioBlk {
+    /// Creates the driver and its stack-facing handle, requesting a
+    /// virtual disk of `disk_sectors` sectors from the backend.
+    pub fn new(
+        xs: Xenstore,
+        name: impl Into<String>,
+        disk_sectors: u64,
+    ) -> (VirtioBlk, BlkHandle) {
+        let (submit_tx, submit_rx) = channel::channel();
+        let (comp_tx, comp_rx) = channel::channel();
+        let front = VirtioBlk {
+            xs,
+            name: name.into(),
+            disk_sectors,
+            state: VblkState::Init,
+            registered_watch: false,
+            backend: None,
+            staged: None,
+            queue: None,
+            port: None,
+            free_slots: Vec::new(),
+            inflight: HashMap::new(),
+            from_stack: submit_rx,
+            to_stack: comp_tx,
+            backlog: VecDeque::new(),
+        };
+        let handle = BlkHandle {
+            submit: submit_tx,
+            complete: comp_rx,
+            sectors: disk_sectors,
+        };
+        (front, handle)
+    }
+
+    fn base(&self) -> String {
+        format!("device/vblk/{}", self.name)
+    }
+
+    fn step_init(&mut self, env: &mut DomainEnv<'_>) -> bool {
+        if !self.registered_watch {
+            self.xs.register_watcher(env.domid());
+            self.registered_watch = true;
+        }
+        let Some(backend) = self
+            .xs
+            .read(env, "backend-domid")
+            .and_then(|s| s.parse().ok())
+            .map(DomainId)
+        else {
+            return false;
+        };
+        self.backend = Some(backend);
+        let base = self.base();
+        let pages = QueuePages::new();
+        let desc = env.grant(backend, pages.desc.clone(), false);
+        let avail = env.grant(backend, pages.avail.clone(), false);
+        let used = env.grant(backend, pages.used.clone(), true);
+        for (area, gref) in [("desc", desc), ("avail", avail), ("used", used)] {
+            self.xs
+                .write(env, &format!("{base}/{area}"), &gref.0.to_string());
+        }
+        self.staged = Some(pages);
+        let domid = env.domid().0.to_string();
+        self.xs.write(env, &format!("{base}/frontend-domid"), &domid);
+        self.xs
+            .write(env, &format!("{base}/sectors"), &self.disk_sectors.to_string());
+        self.xs.write(env, &format!("{base}/state"), "initialising");
+        self.state = VblkState::WaitPort;
+        true
+    }
+
+    fn step_wait_port(&mut self, env: &mut DomainEnv<'_>) -> bool {
+        let base = self.base();
+        let Some(port) = self
+            .xs
+            .read(env, &format!("{base}/event-port"))
+            .and_then(|s| s.parse().ok())
+            .map(Port)
+        else {
+            return false;
+        };
+        let backend = self.backend.expect("set in Init");
+        let local = env.evtchn_bind(backend, port).expect("backend allocated");
+        self.port = Some(local);
+        self.queue = Some(SplitQueue::new(self.staged.take().expect("staged in Init")));
+        for _ in 0..BLK_BUFFERS {
+            // Header page is device-writable for the status byte; the
+            // data page is device-writable for read payloads.
+            let hdr_page = SharedPage::new();
+            let hdr_gref = env.grant(backend, hdr_page.clone(), true);
+            let data_page = SharedPage::new();
+            let data_gref = env.grant(backend, data_page.clone(), true);
+            self.free_slots.push(Slot {
+                hdr_gref,
+                hdr_page,
+                data_gref,
+                data_page,
+            });
+        }
+        self.xs.write(env, &format!("{base}/state"), "connected");
+        env.observe(&format!("vblk-connected:{}", self.name));
+        self.state = VblkState::Connected;
+        true
+    }
+
+    fn step_connected(&mut self, env: &mut DomainEnv<'_>) -> bool {
+        let mut progressed = false;
+        let port = self.port.expect("connected");
+        let _ = env.evtchn_consume(port);
+        let queue = self.queue.as_mut().expect("connected");
+
+        // Completions: the device filled the status byte (and, for reads,
+        // the data page) before returning the chain.
+        while let Some((head, _len)) = queue.take_used() {
+            let Some(inflight) = self.inflight.remove(&head) else {
+                continue;
+            };
+            let status = inflight.slot.hdr_page.read(|b| b[STATUS_OFF]);
+            let ok = status == STATUS_OK;
+            let data = if ok && inflight.op == BlkOp::Read {
+                let mut buf = vec![0u8; inflight.read_bytes];
+                inflight
+                    .slot
+                    .data_page
+                    .read(|b| buf.copy_from_slice(&b[..inflight.read_bytes]));
+                Some(buf)
+            } else {
+                None
+            };
+            let _ = self.to_stack.send(BlkCompletion {
+                id: inflight.id,
+                ok,
+                data,
+            });
+            self.free_slots.push(inflight.slot);
+            progressed = true;
+        }
+
+        // Submissions: three-descriptor chains, one doorbell per pass.
+        while let Some(req) = self.from_stack.try_recv() {
+            self.backlog.push_back(req);
+        }
+        let mut notify = false;
+        while let Some(req) = self.backlog.front() {
+            if req.count > MAX_SECTORS_PER_REQ || req.count == 0 {
+                let req = self.backlog.pop_front().expect("peeked");
+                let _ = self.to_stack.send(BlkCompletion {
+                    id: req.id,
+                    ok: false,
+                    data: None,
+                });
+                continue;
+            }
+            if queue.free_descriptors() < 3 {
+                break;
+            }
+            let Some(slot) = self.free_slots.pop() else {
+                break;
+            };
+            let req = self.backlog.pop_front().expect("peeked");
+            let bytes = req.count as usize * SECTOR_SIZE;
+            let (op, is_read) = match req.op {
+                BlkOp::Read => (blkwire::OP_READ, true),
+                BlkOp::Write => {
+                    let data = req.data.as_deref().unwrap_or(&[]);
+                    let n = data.len().min(bytes);
+                    slot.data_page.write(|b| b[..n].copy_from_slice(&data[..n]));
+                    // Direct write: one copy into the I/O page.
+                    let c = env.costs().copy(n);
+                    env.consume(c);
+                    (blkwire::OP_WRITE, false)
+                }
+            };
+            let header = blkwire::req(op, req.id, req.sector, req.count, slot.data_gref.0);
+            slot.hdr_page.write(|b| {
+                b[..header.len()].copy_from_slice(&header);
+                b[STATUS_OFF] = STATUS_IOERR; // the device must overwrite it
+            });
+            let (head, n) = queue
+                .add_chain(&[
+                    ChainBuf {
+                        addr: buf_addr(slot.hdr_gref.0, 0),
+                        len: header.len() as u32,
+                        device_writes: false,
+                    },
+                    ChainBuf {
+                        addr: buf_addr(slot.data_gref.0, 0),
+                        len: bytes as u32,
+                        device_writes: is_read,
+                    },
+                    ChainBuf {
+                        addr: buf_addr(slot.hdr_gref.0, STATUS_OFF),
+                        len: 1,
+                        device_writes: true,
+                    },
+                ])
+                .expect("free_descriptors checked");
+            notify |= n;
+            self.inflight.insert(
+                head,
+                Inflight {
+                    id: req.id,
+                    op: req.op,
+                    slot,
+                    read_bytes: bytes,
+                },
+            );
+            progressed = true;
+        }
+        if notify {
+            let _ = env.evtchn_notify(port);
+        }
+        progressed |= queue.enable_used_notifications();
+        progressed
+    }
+}
+
+impl DeviceService for VirtioBlk {
+    fn service(&mut self, env: &mut DomainEnv<'_>, _rt: &Runtime) -> bool {
+        match self.state {
+            VblkState::Init => self.step_init(env),
+            VblkState::WaitPort => {
+                let p = self.step_wait_port(env);
+                if matches!(self.state, VblkState::Connected) {
+                    self.step_connected(env) || p
+                } else {
+                    p
+                }
+            }
+            VblkState::Connected => self.step_connected(env),
+        }
+    }
+
+    fn watch_ports(&self) -> Vec<Port> {
+        self.port.into_iter().collect()
+    }
+}

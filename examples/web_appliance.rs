@@ -6,8 +6,8 @@
 //! cargo run --example web_appliance
 //! ```
 
-use mirage::devices::netfront::{CopyDiscipline, Netfront};
-use mirage::devices::{Blkfront, DriverDomain, Xenstore};
+use mirage::devices::netfront::CopyDiscipline;
+use mirage::devices::{Backend, DriverDomain, Xenstore};
 use mirage::http::{HandlerFuture, HttpConnection, HttpServer, Request, Response, Router};
 use mirage::hypervisor::{Dur, Hypervisor, Time};
 use mirage::net::{Ipv4Addr, Mac, Stack, StackConfig};
@@ -18,13 +18,18 @@ const SERVER_IP: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 80);
 const CLIENT_IP: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 99);
 
 fn main() {
+    // One flag picks the ring ABI for every device below:
+    // MIRAGE_BACKEND=xen (default) or MIRAGE_BACKEND=virtio.
+    let backend = Backend::from_env();
+    println!("[world] device backend: {backend}");
+
     let xs = Xenstore::new();
     let mut hv = Hypervisor::new();
     hv.create_domain("dom0", 512, Box::new(DriverDomain::new(xs.clone())));
 
-    // The appliance: netfront + blkfront + HTTP + B-tree, one VM.
-    let (netf, nh) = Netfront::new(xs.clone(), "web0", Mac::local(80).0, CopyDiscipline::ZeroCopy);
-    let (blkf, bh) = Blkfront::new(xs.clone(), "vda", 1 << 16);
+    // The appliance: net frontend + blk frontend + HTTP + B-tree, one VM.
+    let (netf, nh) = backend.net(xs.clone(), "web0", Mac::local(80).0, CopyDiscipline::ZeroCopy);
+    let (blkf, bh) = backend.blk(xs.clone(), "vda", 1 << 16);
     let mut appliance = UnikernelGuest::new(move |_env, rt| {
         let stack = Stack::spawn(rt, nh, StackConfig::static_ip(SERVER_IP));
         let rt2 = rt.clone();
@@ -79,12 +84,13 @@ fn main() {
             code
         })
     });
-    appliance.add_device(Box::new(netf));
-    appliance.add_device(Box::new(blkf));
+    appliance.add_device(netf);
+    appliance.add_device(blkf);
     hv.create_domain("web-appliance", 64, Box::new(appliance));
 
     // httperf-style session: 1 POST + 9 timeline GETs.
-    let (front_c, nh_c) = Netfront::new(xs.clone(), "perf", Mac::local(99).0, CopyDiscipline::ZeroCopy);
+    let (front_c, nh_c) =
+        backend.net(xs.clone(), "perf", Mac::local(99).0, CopyDiscipline::ZeroCopy);
     let mut client = UnikernelGuest::new(move |_env, rt| {
         let stack = Stack::spawn(rt, nh_c, StackConfig::static_ip(CLIENT_IP));
         let rt2 = rt.clone();
@@ -111,7 +117,7 @@ fn main() {
             0
         })
     });
-    client.add_device(Box::new(front_c));
+    client.add_device(front_c);
     let cdom = hv.create_domain("httperf", 32, Box::new(client));
 
     hv.run_until(Time::ZERO + Dur::secs(30));

@@ -19,6 +19,10 @@
 #                               # at 2 vCPUs and >=3x at 4 vCPUs on the
 #                               # saturating 16-flow row, plus a zero
 #                               # quiet-tick poll count on every core
+#   scripts/bench.sh --virtio   # run the Figure 8 pairings with the ring
+#                               # ABI as an axis (fig08_backends), writing
+#                               # BENCH_virtio.json and gating each virtio
+#                               # row to within 2x of its Xen twin
 #
 # Every writer hands its result to scripts/bench_guard.py, which refuses
 # to overwrite a checked-in BENCH_*.json whose gated metrics would
@@ -267,6 +271,74 @@ for pc in result["idle_split"]["per_core"]:
         sys.exit("FAIL: core %d polled %d idle connections in a quiet window"
                  % (pc["core"], pc["quiet_polls"]))
 
+with open(out, "w") as f:
+    json.dump(result, f, indent=2)
+    f.write("\n")
+print("candidate ok (gates passed)")
+PY
+    python3 scripts/bench_guard.py "$out" "$tmp/candidate.json"
+    echo "== bench: done"
+    exit 0
+fi
+
+if [[ "${1:-}" == "--virtio" ]]; then
+    out=BENCH_virtio.json
+    echo "== bench: fig08 x backend (xen vs virtio over the iperf pairings)"
+    cargo bench --offline -p mirage-bench --bench fig08_backends | tee "$tmp/backends.out"
+
+    python3 - "$tmp" "$tmp/candidate.json" <<'PY'
+import json, re, sys
+
+tmp, out = sys.argv[1], sys.argv[2]
+stdout = open(f"{tmp}/backends.out").read()
+
+rows = {}
+for m in re.finditer(
+    r"^\s*(xen|virtio)\s+(Linux to Linux|Linux to Mirage|Mirage to Linux)\s+(\d+)\s+(\d+)\s*$",
+    stdout, re.M,
+):
+    rows.setdefault(m.group(1), {})[m.group(2)] = {
+        "mbps_1flow": int(m.group(3)),
+        "mbps_4flows": int(m.group(4)),
+    }
+if set(rows) != {"xen", "virtio"} or any(len(v) != 3 for v in rows.values()):
+    sys.exit(f"FAIL: expected 3 pairings x 2 backends, parsed {rows}")
+
+smp = {}
+for m in re.finditer(
+    r"smp backend=(xen|virtio) vcpus=(\d+) flows=(\d+) : goodput ([\d.]+) Mb/s \((\d+) bytes\)",
+    stdout,
+):
+    smp[m.group(1)] = {
+        "vcpus": int(m.group(2)),
+        "flows": int(m.group(3)),
+        "goodput_mbps": float(m.group(4)),
+        "bytes": int(m.group(5)),
+    }
+if set(smp) != {"xen", "virtio"}:
+    sys.exit(f"FAIL: expected smp rows for both backends, parsed {smp}")
+
+criterion = [json.loads(l) for l in stdout.splitlines() if l.startswith('{"name"')]
+
+# Gates: both transports price the identical data path, so every virtio
+# row must land within 2x of its Xen twin (either direction), and the
+# byte counts must match exactly.
+for pairing, xen_row in rows["xen"].items():
+    vio_row = rows["virtio"][pairing]
+    for key in ("mbps_1flow", "mbps_4flows"):
+        ratio = vio_row[key] / max(xen_row[key], 1)
+        if not (0.5 <= ratio <= 2.0):
+            sys.exit(f"FAIL: {pairing} {key}: virtio {vio_row[key]} vs xen "
+                     f"{xen_row[key]} Mb/s (x{ratio:.2f} outside [0.5, 2.0])")
+if smp["xen"]["bytes"] != smp["virtio"]["bytes"]:
+    sys.exit("FAIL: smp byte counts differ between backends")
+
+result = {
+    "scenario": "fig08_backends",
+    "throughput": rows,
+    "smp": smp,
+    "criterion": criterion,
+}
 with open(out, "w") as f:
     json.dump(result, f, indent=2)
     f.write("\n")

@@ -63,6 +63,13 @@ def gates_for(name, old):
             (["speedup_16flows", "x2"], True, 0.05),
             (["speedup_16flows", "x4"], True, 0.05),
         ]
+    if name == "BENCH_virtio.json":
+        # Virtual-time goodput is deterministic; guard the virtio rows so
+        # a transport regression can't silently overwrite good numbers.
+        return [
+            (["throughput", "virtio", pairing, "mbps_1flow"], True, 0.05)
+            for pairing in sorted(get(old, ["throughput", "virtio"]) or {})
+        ] + [(["smp", "virtio", "goodput_mbps"], True, 0.05)]
     return []
 
 

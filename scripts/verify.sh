@@ -26,6 +26,13 @@
 #                                    # scale test suite at 100k in
 #                                    # release, and the full 1M bench
 #                                    # emitting a gated BENCH_scale.json
+#   scripts/verify.sh --conformance  # additionally run the cross-backend
+#                                    # differential conformance suite
+#                                    # (Xen rings vs virtio virtqueues)
+#                                    # under ten fixed seeds, plus a
+#                                    # same-seed double run diffed, then
+#                                    # the gated BENCH_virtio.json via
+#                                    # scripts/bench.sh --virtio
 #   scripts/verify.sh --smp          # additionally run the SMP matrix
 #                                    # (examples/smp) twice under one
 #                                    # fixed seed with diffed stdout —
@@ -93,7 +100,7 @@ want() {
 }
 
 if want --all "$@"; then
-    set -- --determinism --bench --chaos --adversarial --cc --scale --smp
+    set -- --determinism --bench --chaos --adversarial --conformance --cc --scale --smp
 fi
 
 if want --bench "$@"; then
@@ -146,6 +153,24 @@ if want --adversarial "$@"; then
     diff /tmp/mirage-adversarial-run1 /tmp/mirage-adversarial-run2
     echo "   ok (seed $seed)"
     lap adversarial
+fi
+
+if want --conformance "$@"; then
+    mark
+    echo "== conformance: cross-backend differential suite under ten fixed seeds"
+    for seed in 1 2 3 5 8 13 42 97 1337 4242; do
+        echo "   -- seed $seed"
+        MIRAGE_TEST_SEED="$seed" cargo test -q --offline --test conformance > /dev/null
+    done
+    echo "== conformance: two same-seed runs must print identical output"
+    seed="${MIRAGE_TEST_SEED:-42}"
+    MIRAGE_TEST_SEED="$seed" cargo test -q --offline --test conformance 2>&1 | norm > /tmp/mirage-conformance-run1
+    MIRAGE_TEST_SEED="$seed" cargo test -q --offline --test conformance 2>&1 | norm > /tmp/mirage-conformance-run2
+    diff /tmp/mirage-conformance-run1 /tmp/mirage-conformance-run2
+    echo "   ok (seed $seed)"
+    echo "== conformance: backend parity figures -> BENCH_virtio.json (gated)"
+    scripts/bench.sh --virtio
+    lap conformance
 fi
 
 if want --cc "$@"; then

